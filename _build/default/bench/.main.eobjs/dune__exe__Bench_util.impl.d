@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Float Hashtbl List Measure Printf String Test Time Toolkit Unix

@@ -1,0 +1,357 @@
+(* mlsclassify — command-line front end for the minimal-upgrading
+   classifier.
+
+     mlsclassify solve  -l lattice.lat -c policy.cst [--bound a=LVL] [--trace]
+     mlsclassify stats  -c policy.cst
+     mlsclassify dot    -l lattice.lat
+     mlsclassify demo
+
+   Lattice files use the Lattice_file format; constraint files the Parse
+   format (see the library documentation or README). *)
+
+open Minup_lattice
+module Solver = Minup_core.Solver.Make (Explicit)
+module Parse = Minup_constraints.Parse
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+
+let load_lattice path =
+  match Lattice_file.parse (read_file path) with
+  | Ok l -> Ok l
+  | Error e -> Error (Format.asprintf "%s: %a" path Lattice_file.pp_error e)
+
+let load_policy lattice path =
+  match
+    Parse.parse_resolve
+      ~level_of_string:(Explicit.level_of_string lattice)
+      (read_file path)
+  with
+  | Ok r -> Ok r
+  | Error e -> Error (Format.asprintf "%s: %a" path Parse.pp_error e)
+
+let print_assignment lattice assignment =
+  List.iter
+    (fun (attr, l) ->
+      Printf.printf "%-24s %s\n" attr (Explicit.level_to_string lattice l))
+    assignment
+
+(* --- solve ---------------------------------------------------------- *)
+
+let parse_bound lattice spec =
+  match String.index_opt spec '=' with
+  | None -> Error (Printf.sprintf "bound %S is not of the form attr=LEVEL" spec)
+  | Some i -> (
+      let attr = String.sub spec 0 i in
+      let level = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match Explicit.level_of_string lattice level with
+      | Some l -> Ok (attr, l)
+      | None -> Error (Printf.sprintf "unknown level %S in bound" level))
+
+let solve_cmd lattice_path policy_path bounds trace check_minimal explain output =
+  let lattice = or_die (load_lattice lattice_path) in
+  let policy = or_die (load_policy lattice policy_path) in
+  let problem =
+    match Solver.compile ~lattice ~attrs:policy.Parse.attrs policy.Parse.csts with
+    | Ok p -> p
+    | Error e ->
+        prerr_endline
+          (Format.asprintf "error: %a" Minup_constraints.Problem.pp_error e);
+        exit 1
+  in
+  let bounds =
+    policy.Parse.upper_bounds
+    @ List.map (fun spec -> or_die (parse_bound lattice spec)) bounds
+  in
+  let on_event =
+    if not trace then fun _ -> ()
+    else
+      let lvl l = Explicit.level_to_string lattice l in
+      fun (e : Solver.event) ->
+        match e with
+        | Solver.Consider { attr; priority } ->
+            Printf.eprintf "consider %s (priority %d)\n" attr priority
+        | Solver.Back_assigned { attr; level } ->
+            Printf.eprintf "  assign %s := %s\n" attr (lvl level)
+        | Solver.Try_lower { attr; target; lowered = None } ->
+            Printf.eprintf "  try(%s, %s) fails\n" attr (lvl target)
+        | Solver.Try_lower { attr; target; lowered = Some l } ->
+            Printf.eprintf "  try(%s, %s) lowers %s\n" attr (lvl target)
+              (String.concat ","
+                 (List.map (fun (a, v) -> a ^ "->" ^ lvl v) l))
+        | Solver.Finalized { attr; level } ->
+            Printf.eprintf "  done %s = %s\n" attr (lvl level)
+  in
+  let solution =
+    if bounds = [] then Solver.solve ~on_event problem
+    else
+      match Solver.solve_with_bounds ~on_event problem bounds with
+      | Ok s -> s
+      | Error i ->
+          prerr_endline
+            (Format.asprintf "inconsistent: %a"
+               (Solver.pp_inconsistency lattice)
+               i);
+          exit 2
+  in
+  print_assignment lattice solution.Solver.assignment;
+  if not (Solver.satisfies problem solution.Solver.levels) then begin
+    prerr_endline "internal error: solution does not satisfy the constraints";
+    exit 3
+  end;
+  if check_minimal then begin
+    let module Explain = Minup_core.Explain.Make (Explicit) in
+    if Explain.is_locally_minimal problem solution.Solver.levels then
+      prerr_endline "verified: pointwise minimal"
+    else begin
+      prerr_endline "NOT minimal (internal error)";
+      exit 3
+    end
+  end;
+  if explain then begin
+    let module Explain = Minup_core.Explain.Make (Explicit) in
+    print_newline ();
+    print_string (Explain.report problem solution.Solver.levels)
+  end;
+  match output with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc
+            (Minup_core.Assignment_io.render
+               ~level_to_string:(Explicit.level_to_string lattice)
+               solution.Solver.assignment))
+
+(* --- check ---------------------------------------------------------- *)
+
+(* Auditor workflow: verify that a deployed assignment file still
+   satisfies the (possibly evolved) policy and wastes no visibility. *)
+let check_cmd lattice_path policy_path assignment_path =
+  let lattice = or_die (load_lattice lattice_path) in
+  let policy = or_die (load_policy lattice policy_path) in
+  let problem =
+    match Solver.compile ~lattice ~attrs:policy.Parse.attrs policy.Parse.csts with
+    | Ok p -> p
+    | Error e ->
+        prerr_endline
+          (Format.asprintf "error: %a" Minup_constraints.Problem.pp_error e);
+        exit 1
+  in
+  let assignment =
+    match
+      Minup_core.Assignment_io.parse
+        ~level_of_string:(Explicit.level_of_string lattice)
+        (read_file assignment_path)
+    with
+    | Ok a -> a
+    | Error e ->
+        prerr_endline
+          (Format.asprintf "%s: %a" assignment_path
+             Minup_core.Assignment_io.pp_error e);
+        exit 1
+  in
+  let levels =
+    match Minup_core.Assignment_io.bind problem.Solver.prob assignment with
+    | Ok l -> l
+    | Error (`Missing a) ->
+        Printf.eprintf "error: attribute %S has no assignment\n" a;
+        exit 1
+    | Error (`Unknown a) ->
+        Printf.eprintf "error: assignment for unknown attribute %S\n" a;
+        exit 1
+  in
+  if not (Solver.satisfies problem levels) then begin
+    print_endline "VIOLATED: the assignment does not satisfy the constraints:";
+    Array.iter
+      (fun (c : _ Minup_constraints.Problem.cst) ->
+        let combined =
+          Array.fold_left
+            (fun acc a -> Explicit.lub lattice acc levels.(a))
+            (Explicit.bottom lattice) c.lhs
+        in
+        let target =
+          match c.rhs with
+          | Minup_constraints.Problem.Rlevel l -> l
+          | Minup_constraints.Problem.Rattr a -> levels.(a)
+        in
+        if not (Explicit.leq lattice target combined) then
+          Format.printf "  %a@."
+            (Minup_constraints.Cst.pp (Explicit.pp_level lattice))
+            (Minup_constraints.Problem.cst_to_source problem.Solver.prob c))
+      problem.Solver.prob.Minup_constraints.Problem.csts;
+    exit 2
+  end;
+  let module Explain = Minup_core.Explain.Make (Explicit) in
+  if Explain.is_locally_minimal problem levels then
+    print_endline "OK: satisfies the constraints and is pointwise minimal"
+  else begin
+    print_endline
+      "OVERCLASSIFIED: satisfies the constraints but some attributes can be \
+       lowered:";
+    Array.iteri
+      (fun a name ->
+        List.iter
+          (fun { Explain.to_level; reason } ->
+            if reason = Explain.At_bottom then
+              Printf.printf "  %s: %s -> %s possible\n" name
+                (Explicit.level_to_string lattice levels.(a))
+                (Explicit.level_to_string lattice to_level))
+          (Explain.binding_constraints problem levels name))
+      problem.Solver.prob.Minup_constraints.Problem.attr_names;
+    exit 3
+  end
+
+(* --- stats ---------------------------------------------------------- *)
+
+let stats_cmd lattice_path policy_path =
+  let lattice = or_die (load_lattice lattice_path) in
+  let policy = or_die (load_policy lattice policy_path) in
+  let problem =
+    Minup_constraints.Problem.compile_exn ~attrs:policy.Parse.attrs
+      policy.Parse.csts
+  in
+  Format.printf "%a@." Minup_constraints.Stats.pp
+    (Minup_constraints.Stats.compute problem)
+
+(* --- dot ------------------------------------------------------------ *)
+
+let dot_cmd lattice_path policy_path =
+  let lattice = or_die (load_lattice lattice_path) in
+  match policy_path with
+  | None -> print_string (Dot.of_explicit lattice)
+  | Some path ->
+      (* Render the constraint graph (Fig. 2(a) style) instead. *)
+      let policy = or_die (load_policy lattice path) in
+      let problem =
+        Minup_constraints.Problem.compile_exn ~attrs:policy.Parse.attrs
+          policy.Parse.csts
+      in
+      print_string
+        (Minup_constraints.Graphviz.render
+           ~pp_level:(Explicit.pp_level lattice)
+           problem)
+
+(* --- demo ----------------------------------------------------------- *)
+
+let demo_cmd () =
+  let lattice = Minup_core.Paper.fig1b in
+  let problem =
+    Solver.compile_exn ~lattice ~attrs:Minup_core.Paper.fig2_attrs
+      Minup_core.Paper.fig2_constraints
+  in
+  let solution = Solver.solve problem in
+  print_endline "Figure 2 of Dawson et al., PODS'99:";
+  print_assignment lattice solution.Solver.assignment
+
+(* --- cmdliner wiring ------------------------------------------------ *)
+
+open Cmdliner
+
+let lattice_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "l"; "lattice" ] ~docv:"FILE" ~doc:"Lattice file.")
+
+let policy_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "c"; "constraints" ] ~docv:"FILE" ~doc:"Constraint (policy) file.")
+
+let bounds_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "bound" ] ~docv:"ATTR=LEVEL"
+        ~doc:"Additional upper-bound constraint (repeatable).")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the execution trace to stderr.")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check-minimal" ]
+        ~doc:"Verify pointwise minimality of the result (polynomial check).")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "For every attribute, report the constraints that prevent each \
+           one-step lowering.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the assignment to FILE ('attr = LEVEL' lines).")
+
+let solve_t =
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Compute a minimal classification.")
+    Term.(
+      const solve_cmd $ lattice_arg $ policy_arg $ bounds_arg $ trace_arg
+      $ check_arg $ explain_arg $ output_arg)
+
+let check_t =
+  let assignment_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "a"; "assignment" ] ~docv:"FILE"
+          ~doc:"Assignment file to audit ('attr = LEVEL' lines).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Audit an existing assignment: constraint satisfaction and \
+          pointwise minimality.")
+    Term.(const check_cmd $ lattice_arg $ policy_arg $ assignment_arg)
+
+let stats_t =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print structural statistics of a constraint set.")
+    Term.(const stats_cmd $ lattice_arg $ policy_arg)
+
+let dot_t =
+  let policy_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "c"; "constraints" ] ~docv:"FILE"
+          ~doc:"Render this constraint file's graph instead of the lattice.")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Export a lattice (or, with -c, a constraint graph) as Graphviz DOT.")
+    Term.(const dot_cmd $ lattice_arg $ policy_opt)
+
+let demo_t =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the paper's Figure 2 example.")
+    Term.(const demo_cmd $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "mlsclassify" ~version:"1.0.0"
+       ~doc:
+         "Minimal data upgrading to prevent inference and association attacks \
+          (Dawson, De Capitani di Vimercati, Lincoln, Samarati — PODS 1999).")
+    [ solve_t; check_t; stats_t; dot_t; demo_t ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,48 @@
+open Minup_lattice
+module S = Minup_core.Solver.Make (Explicit)
+module V = Minup_core.Verify.Make (Explicit)
+
+let () =
+  let seed = 657906 in
+  let rng = Minup_workload.Prng.create seed in
+  let lat =
+    Minup_workload.Gen_lattice.random_closure_exn rng ~universe:4 ~n_generators:3
+      ~max_size:12
+  in
+  Printf.printf "lattice (%d levels):\n" (Explicit.cardinal lat);
+  List.iter
+    (fun (a, b) ->
+      Printf.printf "  %s < %s\n" (Explicit.name lat a) (Explicit.name lat b))
+    (Explicit.cover_pairs lat);
+  let spec =
+    Minup_workload.Gen_constraints.
+      { n_attrs = 6; n_simple = 5; n_complex = 2; max_lhs = 3; n_constants = 3;
+        constants = Explicit.all lat }
+  in
+  let attrs, csts = Minup_workload.Gen_constraints.acyclic rng spec in
+  List.iter
+    (fun c ->
+      Format.printf "  %a@." (Minup_constraints.Cst.pp (Explicit.pp_level lat)) c)
+    csts;
+  let p = S.compile_exn ~lattice:lat ~attrs csts in
+  let sol = S.solve p in
+  Printf.printf "satisfies=%b\n" (S.satisfies p sol.S.levels);
+  List.iter
+    (fun (a, l) -> Printf.printf "  %s=%s\n" a (Explicit.level_to_string lat l))
+    sol.S.assignment;
+  (match V.is_minimal_solution ~cap:500_000 p sol.S.levels with
+   | Ok b -> Printf.printf "minimal=%b\n" b
+   | Error `Too_large -> print_endline "too large");
+  match V.minimal_solutions ~cap:500_000 p with
+  | Ok sols ->
+      Printf.printf "%d minimal solutions, e.g.:\n" (List.length sols);
+      (match sols with
+       | s :: _ ->
+           Array.iteri
+             (fun i l ->
+               Printf.printf "  %s=%s\n"
+                 (Minup_constraints.Problem.attr_name p.S.prob i)
+                 (Explicit.level_to_string lat l))
+             s
+       | [] -> ())
+  | Error `Too_large -> print_endline "enum too large"

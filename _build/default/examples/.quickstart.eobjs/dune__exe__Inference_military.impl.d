@@ -1,0 +1,1 @@
+examples/inference_military.ml: Compartment Format List Minup_constraints Minup_core Minup_lattice Printf String

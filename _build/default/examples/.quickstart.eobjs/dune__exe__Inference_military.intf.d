@@ -1,0 +1,1 @@
+examples/inference_military.mli:

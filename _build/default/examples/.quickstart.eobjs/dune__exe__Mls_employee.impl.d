@@ -1,0 +1,1 @@
+examples/mls_employee.ml: Extract Fd Instance List Minup_core Minup_lattice Minup_mls Printf Schema Total

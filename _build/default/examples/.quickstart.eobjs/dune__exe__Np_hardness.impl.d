@@ -1,0 +1,1 @@
+examples/np_hardness.ml: Array Minposet Minup_lattice Minup_poset Poset Printf Reduction Sat

@@ -1,0 +1,1 @@
+examples/np_hardness.mli:

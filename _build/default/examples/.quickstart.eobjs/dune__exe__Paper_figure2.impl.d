@@ -1,0 +1,1 @@
+examples/paper_figure2.ml: Array Explicit Format List Minup_constraints Minup_core Minup_lattice Option Printf String

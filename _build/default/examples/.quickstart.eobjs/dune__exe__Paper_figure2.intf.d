@@ -1,0 +1,1 @@
+examples/paper_figure2.mli:

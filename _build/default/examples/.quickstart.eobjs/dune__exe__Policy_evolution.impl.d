@@ -1,0 +1,1 @@
+examples/policy_evolution.ml: Format Minup_constraints Minup_core Minup_lattice Printf Total

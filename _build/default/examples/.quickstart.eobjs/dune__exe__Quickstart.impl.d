@@ -1,0 +1,1 @@
+examples/quickstart.ml: Explicit List Minup_constraints Minup_core Minup_lattice Printf

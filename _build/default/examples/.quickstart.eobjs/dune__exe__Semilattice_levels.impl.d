@@ -1,0 +1,1 @@
+examples/semilattice_levels.ml: Explicit Format List Minup_constraints Minup_core Minup_lattice Printf Semilattice String

@@ -1,0 +1,1 @@
+examples/semilattice_levels.mli:

@@ -1,0 +1,1 @@
+examples/upper_bounds.ml: Array Format List Minup_constraints Minup_core Minup_lattice Printf Total

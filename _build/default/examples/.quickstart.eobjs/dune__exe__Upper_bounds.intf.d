@@ -1,0 +1,1 @@
+examples/upper_bounds.mli:

@@ -1,0 +1,62 @@
+(* Upper-bound constraints (§6): guaranteeing visibility.  A hospital
+   wants patient names readable by ward staff (an upper bound) while the
+   name+diagnosis association stays highly classified; the solver must
+   push the upgrade onto the diagnosis.  A second run shows inconsistency
+   detection when the bounds contradict the lower bounds.
+
+   Run with: dune exec examples/upper_bounds.exe *)
+
+open Minup_lattice
+module Cst = Minup_constraints.Cst
+module Solver = Minup_core.Solver.Make (Total)
+
+let () =
+  let lattice = Total.create [ "Ward"; "Clinic"; "Hospital"; "Board" ] in
+  let lvl = Total.of_name_exn lattice in
+  let level n = Cst.Level (lvl n) in
+  let constraints =
+    [
+      (* The association of a name with a diagnosis is Board-only. *)
+      Cst.make_exn ~lhs:[ "name"; "diagnosis" ] ~rhs:(level "Board");
+      (* Diagnoses are at least Clinic. *)
+      Cst.simple "diagnosis" (level "Clinic");
+      (* Billing code reveals the diagnosis. *)
+      Cst.simple "billing" (Cst.Attr "diagnosis");
+    ]
+  in
+  let problem = Solver.compile_exn ~lattice constraints in
+
+  (* Visibility guarantee: ward staff must be able to read names. *)
+  print_endline "bounds: name ⊑ Ward";
+  (match Solver.solve_with_bounds problem [ ("name", lvl "Ward") ] with
+  | Ok solution ->
+      print_endline "classification:";
+      List.iter
+        (fun (attr, l) ->
+          Printf.printf "  %-10s %s\n" attr (Total.name lattice l))
+        solution.Solver.assignment;
+      Printf.printf "satisfies: %b\n"
+        (Solver.satisfies problem solution.Solver.levels)
+  | Error i ->
+      Format.printf "inconsistent: %a@." (Solver.pp_inconsistency lattice) i);
+
+  (* Derived bounds: capping billing also caps nothing upstream, but
+     capping diagnosis caps billing's floor source. *)
+  print_endline "\nderived upper bounds for diagnosis ⊑ Hospital:";
+  (match Solver.derive_upper_bounds problem [ ("diagnosis", lvl "Hospital") ] with
+  | Ok ub ->
+      Array.iteri
+        (fun a l ->
+          Printf.printf "  %-10s ⊑ %s\n"
+            (Minup_constraints.Problem.attr_name problem.Solver.prob a)
+            (Total.name lattice l))
+        ub
+  | Error i ->
+      Format.printf "inconsistent: %a@." (Solver.pp_inconsistency lattice) i);
+
+  (* An impossible demand: diagnosis readable by the ward. *)
+  print_endline "\nbounds: diagnosis ⊑ Ward (conflicts with diagnosis ⊒ Clinic)";
+  match Solver.solve_with_bounds problem [ ("diagnosis", lvl "Ward") ] with
+  | Ok _ -> print_endline "unexpectedly consistent!"
+  | Error i ->
+      Format.printf "rejected: %a@." (Solver.pp_inconsistency lattice) i

@@ -1,0 +1,1 @@
+lib/baselines/backtrack.ml: Array List Minup_constraints Minup_core Minup_lattice

@@ -1,0 +1,1 @@
+lib/baselines/backtrack.mli: Minup_constraints Minup_core Minup_lattice

@@ -1,0 +1,1 @@
+lib/baselines/loss.ml: Array List Map Minup_lattice

@@ -1,0 +1,1 @@
+lib/baselines/loss.mli: Minup_lattice

@@ -1,0 +1,1 @@
+lib/baselines/qian.ml: Array Minup_constraints Minup_core Minup_lattice

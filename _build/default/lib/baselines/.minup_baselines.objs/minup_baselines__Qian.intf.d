@@ -1,0 +1,1 @@
+lib/baselines/qian.mli: Minup_core Minup_lattice

@@ -1,0 +1,1 @@
+lib/baselines/topmost.ml: Array Minup_constraints Minup_core Minup_lattice

@@ -1,0 +1,1 @@
+lib/baselines/topmost.mli: Minup_core Minup_lattice

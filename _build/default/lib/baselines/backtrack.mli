@@ -1,0 +1,33 @@
+(** The rejected alternative (1) of §3.2: back-propagation with
+    backtracking over which left-hand-side attribute each complex
+    constraint upgrades.  Exponential in the product of left-hand-side
+    sizes — exactly the cost the paper's forward-lowering approach avoids
+    (benchmark ABL-BT).  See the implementation comment for the
+    scheduling model. *)
+
+module Make (L : Minup_lattice.Lattice_intf.S) : sig
+  module S : module type of Minup_core.Solver.Make (L)
+  module P = Minup_constraints.Problem
+
+  type candidate = {
+    levels : L.level array;
+    exact : bool;
+        (** the schedule completed without deadlock: on acyclic inputs such
+            candidates are minimal *)
+  }
+
+  (** Least [m] with [lub m others ⊒ target], walking covers from ⊤. *)
+  val minimal_upgrade : L.t -> target:L.level -> others:L.level -> L.level
+
+  (** [Π |lhs|] over complex constraints; [None] on overflow. *)
+  val search_space : S.problem -> int option
+
+  (** Every satisfying classification reachable by some choice vector.
+      Cost proportional to {!search_space}. *)
+  val candidates : S.problem -> candidate list
+
+  (** A minimal classification by exhaustive choice search (preferring
+      exactly-scheduled candidates).  @raise Invalid_argument when the
+      search space exceeds [max_space] (default [200_000]). *)
+  val solve : ?max_space:int -> S.problem -> L.level array option
+end

@@ -1,0 +1,54 @@
+(** Information-loss measures for comparing classifications.
+
+    "Minimizing information loss" is what distinguishes the paper's
+    algorithm from sound-but-overclassifying approaches (Qian [13]).  These
+    measures quantify overclassification of one assignment against a
+    reference:
+
+    - {!Make.n_overclassified} — how many attributes sit strictly above the
+      reference level;
+    - {!Make.excess_rank} — total number of lattice levels of unnecessary
+      upgrading, where a level's rank is the length of the longest chain
+      from ⊥ up to it. *)
+
+module Make (L : Minup_lattice.Lattice_intf.S) = struct
+  (** [ranker lat] is a memoizing rank function: the length of the longest
+      cover-chain from the bottom to a level. *)
+  let ranker lat =
+    let module M = Map.Make (struct
+      type t = L.level
+
+      let compare = L.compare_level lat
+    end) in
+    let memo = ref M.empty in
+    let rec rank l =
+      match M.find_opt l !memo with
+      | Some r -> r
+      | None ->
+          let r =
+            List.fold_left
+              (fun acc c -> max acc (1 + rank c))
+              0 (L.covers_below lat l)
+          in
+          memo := M.add l r !memo;
+          r
+    in
+    rank
+
+  let n_overclassified lat ~reference candidate =
+    let count = ref 0 in
+    Array.iteri
+      (fun i l ->
+        if L.leq lat reference.(i) l && not (L.equal lat reference.(i) l) then
+          incr count)
+      candidate;
+    !count
+
+  let excess_rank lat ~reference candidate =
+    let rank = ranker lat in
+    let total = ref 0 in
+    Array.iteri
+      (fun i l -> total := !total + max 0 (rank l - rank reference.(i)))
+      candidate;
+    !total
+end

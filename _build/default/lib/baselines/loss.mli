@@ -1,0 +1,18 @@
+(** Information-loss measures: quantify overclassification of a candidate
+    assignment against a reference (usually the algorithm's minimal
+    solution). *)
+
+module Make (L : Minup_lattice.Lattice_intf.S) : sig
+  (** [ranker lat] memoizes the rank of a level — the length of the
+      longest cover-chain from ⊥ up to it. *)
+  val ranker : L.t -> L.level -> int
+
+  (** How many attributes the candidate classifies strictly above the
+      reference. *)
+  val n_overclassified :
+    L.t -> reference:L.level array -> L.level array -> int
+
+  (** Total unnecessary upgrading in lattice-rank steps:
+      [Σ max(0, rank(candidate) − rank(reference))]. *)
+  val excess_rank : L.t -> reference:L.level array -> L.level array -> int
+end

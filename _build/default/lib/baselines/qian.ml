@@ -1,0 +1,55 @@
+(** The Qian-style baseline (reference [13] of the paper).
+
+    Qian's view-based algorithm computes classifications from constraints
+    in polynomial time but, as the paper notes in §1, "does not guarantee
+    minimality and, in fact, tends to overclassify information
+    unnecessarily."  We model that behavioral profile with the natural
+    monotone fixpoint labeler: start everything at ⊥ and, whenever a
+    constraint [lub{lhs} ⊒ target] is unsatisfied, raise {e every}
+    left-hand-side attribute to dominate the target (rather than choosing
+    one attribute to upgrade, which is where the minimality of the paper's
+    algorithm comes from).
+
+    The result always satisfies the constraints and is computed in
+    [O(N_A · H)] rounds over the constraint set, but complex constraints
+    overclassify all but one of their left-hand-side attributes. *)
+
+module Make (L : Minup_lattice.Lattice_intf.S) = struct
+  module S = Minup_core.Solver.Make (L)
+
+  (** [solve problem] — the fixpoint labeling, as an assignment array
+      indexed like {!Minup_core.Solver.Make.solution.levels}. *)
+  let solve (problem : S.problem) =
+    let lat = problem.lat in
+    let prob = problem.prob in
+    let n = Minup_constraints.Problem.n_attrs prob in
+    let lam = Array.make n (L.bottom lat) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun (c : _ Minup_constraints.Problem.cst) ->
+          let target =
+            match c.rhs with
+            | Minup_constraints.Problem.Rlevel l -> l
+            | Minup_constraints.Problem.Rattr a -> lam.(a)
+          in
+          let combined =
+            Array.fold_left
+              (fun acc a -> L.lub lat acc lam.(a))
+              (L.bottom lat) c.lhs
+          in
+          if not (L.leq lat target combined) then begin
+            Array.iter
+              (fun a ->
+                let raised = L.lub lat lam.(a) target in
+                if not (L.equal lat raised lam.(a)) then begin
+                  lam.(a) <- raised;
+                  changed := true
+                end)
+              c.lhs
+          end)
+        prob.Minup_constraints.Problem.csts
+    done;
+    lam
+end

@@ -1,0 +1,13 @@
+(** The Qian-style baseline (reference [13] of the paper): a polynomial
+    view-based labeler that satisfies every constraint but upgrades whole
+    left-hand sides instead of choosing one attribute — sound, not
+    minimal.  See the implementation comment for the behavioral model. *)
+
+module Make (L : Minup_lattice.Lattice_intf.S) : sig
+  module S : module type of Minup_core.Solver.Make (L)
+
+  (** Monotone raise-to-fixpoint labeling; always satisfies the problem's
+      constraints; overclassifies whenever a complex constraint leaves a
+      choice. *)
+  val solve : S.problem -> L.level array
+end

@@ -1,0 +1,15 @@
+(** The trivial classifier: everything at ⊤.
+
+    "The mapping λ : A ↦ {⊤} ... satisfies any set of classification
+    constraints.  Such a strong classification is clearly undesirable"
+    (§2).  It anchors the information-loss comparisons: the worst sound
+    classifier any approach must beat. *)
+
+module Make (L : Minup_lattice.Lattice_intf.S) = struct
+  module S = Minup_core.Solver.Make (L)
+
+  let solve (problem : S.problem) =
+    Array.make
+      (Minup_constraints.Problem.n_attrs problem.prob)
+      (L.top problem.lat)
+end

@@ -1,0 +1,8 @@
+(** The trivial classifier — everything at ⊤ (§2's worst sound
+    classification), anchoring the information-loss comparisons. *)
+
+module Make (L : Minup_lattice.Lattice_intf.S) : sig
+  module S : module type of Minup_core.Solver.Make (L)
+
+  val solve : S.problem -> L.level array
+end

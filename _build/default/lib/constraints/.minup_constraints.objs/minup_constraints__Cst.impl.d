@@ -1,0 +1,1 @@
+lib/constraints/cst.ml: Format List

@@ -1,0 +1,1 @@
+lib/constraints/graphviz.ml: Array Buffer Format Hashtbl Printf Problem String

@@ -1,0 +1,1 @@
+lib/constraints/graphviz.mli: Format Problem

@@ -1,0 +1,1 @@
+lib/constraints/parse.ml: Buffer Cst Format Hashtbl List Printf String

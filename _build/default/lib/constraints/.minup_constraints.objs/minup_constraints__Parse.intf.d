@@ -1,0 +1,1 @@
+lib/constraints/parse.mli: Cst Format

@@ -1,0 +1,1 @@
+lib/constraints/priorities.ml: Array List Problem

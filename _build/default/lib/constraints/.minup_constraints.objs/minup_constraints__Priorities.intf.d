@@ -1,0 +1,1 @@
+lib/constraints/priorities.mli: Problem

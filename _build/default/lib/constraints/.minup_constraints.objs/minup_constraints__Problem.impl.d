@@ -1,0 +1,1 @@
+lib/constraints/problem.ml: Array Cst Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/constraints/problem.mli: Cst Format Hashtbl

@@ -1,0 +1,1 @@
+lib/constraints/scc.ml: Array List Problem

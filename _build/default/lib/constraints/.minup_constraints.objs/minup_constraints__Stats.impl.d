@@ -1,0 +1,1 @@
+lib/constraints/stats.ml: Array Format Problem Scc

@@ -1,0 +1,1 @@
+lib/constraints/stats.mli: Format Problem

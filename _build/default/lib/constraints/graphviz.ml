@@ -1,0 +1,47 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ~pp_level (p : _ Problem.t) =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph constraints {\n  rankdir=TB;\n";
+  Array.iteri
+    (fun i name -> out "  a%d [label=\"%s\" shape=circle];\n" i (escape name))
+    p.Problem.attr_names;
+  (* Deduplicated level nodes, named by their rendering. *)
+  let levels = Hashtbl.create 8 in
+  let level_node l =
+    let s = Format.asprintf "%a" pp_level l in
+    match Hashtbl.find_opt levels s with
+    | Some id -> id
+    | None ->
+        let id = Printf.sprintf "l%d" (Hashtbl.length levels) in
+        Hashtbl.add levels s id;
+        out "  %s [label=\"%s\" shape=box];\n" id (escape s);
+        id
+  in
+  Array.iteri
+    (fun ci (c : _ Problem.cst) ->
+      let target =
+        match c.rhs with
+        | Problem.Rattr b -> Printf.sprintf "a%d" b
+        | Problem.Rlevel l -> level_node l
+      in
+      match c.lhs with
+      | [| a |] -> out "  a%d -> %s;\n" a target
+      | lhs ->
+          (* A point node stands in for the hypernode. *)
+          out "  h%d [shape=point width=0.08];\n" ci;
+          Array.iter
+            (fun a -> out "  a%d -> h%d [style=dashed arrowhead=none];\n" a ci)
+            lhs;
+          out "  h%d -> %s;\n" ci target)
+    p.Problem.csts;
+  out "}\n";
+  Buffer.contents buf

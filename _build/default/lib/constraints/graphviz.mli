@@ -1,0 +1,7 @@
+(** Graphviz rendering of classification constraint graphs, in the style of
+    Fig. 2(a): circle nodes for attributes, box nodes for security levels,
+    and a point node standing in for each hypernode (complex left-hand
+    side), with dashed member edges. *)
+
+val render :
+  pp_level:(Format.formatter -> 'lvl -> unit) -> 'lvl Problem.t -> string

@@ -1,0 +1,51 @@
+(** Text format for classification-constraint files.
+
+    Line-based; [#] starts a comment.  Syntax:
+
+    {v
+    attrs name, salary, rank          # optional attribute declarations
+    salary >= Confidential            # basic constraint
+    {name, salary} >= Secret          # association constraint
+    lub{rank, department} >= salary   # inference constraint ("lub" optional)
+    name <= Secret                    # upper-bound constraint (§6)
+    v}
+
+    The right-hand side of a [>=] line is kept as a raw string and resolved
+    against a lattice afterwards ({!resolve}): declared or left-hand-side
+    attributes win, then lattice level names, then fresh attributes.  This
+    lets level syntaxes as rich as compartmented classes
+    ([TS:{Army,Nuclear}]) appear on the right-hand side. *)
+
+type ast = {
+  decls : string list;  (** attributes declared via [attrs] lines *)
+  lowers : (string list * string) list;
+      (** [(lhs, raw_rhs)] per [>=] line, in file order *)
+  uppers : (string * string) list;  (** [(attr, raw_level)] per [<=] line *)
+}
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val parse : string -> (ast, error) result
+
+type 'lvl resolved = {
+  attrs : string list;  (** the attribute universe, declaration order *)
+  csts : 'lvl Cst.t list;
+  upper_bounds : (string * 'lvl) list;
+}
+
+(** [resolve ~level_of_string ast]. *)
+val resolve :
+  level_of_string:(string -> 'lvl option) ->
+  ast ->
+  ('lvl resolved, error) result
+
+(** Parse and resolve in one step. *)
+val parse_resolve :
+  level_of_string:(string -> 'lvl option) ->
+  string ->
+  ('lvl resolved, error) result
+
+(** Render a resolved policy back to the file format; [parse_resolve] of
+    the result reproduces it (attribute order, constraints, bounds). *)
+val render : level_to_string:('lvl -> string) -> 'lvl resolved -> string

@@ -1,0 +1,87 @@
+type t = { priority : int array; sets : int array array; max_priority : int }
+
+let forward_succs p a =
+  List.filter_map
+    (fun ci ->
+      match (p.Problem.csts.(ci)).Problem.rhs with
+      | Problem.Rattr b -> Some b
+      | Problem.Rlevel _ -> None)
+    p.Problem.constr_of.(a)
+
+let backward_preds p a =
+  List.concat_map
+    (fun ci -> Array.to_list (p.Problem.csts.(ci)).Problem.lhs)
+    p.Problem.incoming.(a)
+
+(* Iterative DFS.  [on_finish] fires when a node's subtree is exhausted;
+   [on_discover] when it is first reached.  Successor lists are consumed
+   left to right, so the traversal order matches the recursive
+   presentation in the paper. *)
+let dfs ~succs ~visit ~on_discover ~on_finish root =
+  if not visit.(root) then begin
+    visit.(root) <- true;
+    on_discover root;
+    let stack = ref [ (root, succs root) ] in
+    let continue = ref true in
+    while !continue do
+      match !stack with
+      | [] -> continue := false
+      | (a, []) :: tl ->
+          on_finish a;
+          stack := tl
+      | (a, b :: more) :: tl ->
+          stack := (a, more) :: tl;
+          if not visit.(b) then begin
+            visit.(b) <- true;
+            on_discover b;
+            stack := (b, succs b) :: !stack
+          end
+    done
+  end
+
+let compute p =
+  let n = Problem.n_attrs p in
+  let visit = Array.make n false in
+  let finish_stack = ref [] in
+  (* Pass 1: forward DFS, recording attributes as their visit concludes. *)
+  for a = 0 to n - 1 do
+    dfs ~succs:(forward_succs p) ~visit
+      ~on_discover:(fun _ -> ())
+      ~on_finish:(fun x -> finish_stack := x :: !finish_stack)
+      a
+  done;
+  (* Pass 2: walk the stack, assigning a fresh priority to each unvisited
+     attribute and sweeping its backward-reachable unvisited region into the
+     same priority set. *)
+  let visit2 = Array.make n false in
+  let priority = Array.make n 0 in
+  let sets = ref [] in
+  let max_priority = ref 0 in
+  List.iter
+    (fun a ->
+      if not visit2.(a) then begin
+        incr max_priority;
+        let members = ref [] in
+        dfs ~succs:(backward_preds p) ~visit:visit2
+          ~on_discover:(fun x ->
+            priority.(x) <- !max_priority;
+            members := x :: !members)
+          ~on_finish:(fun _ -> ())
+          a;
+        sets := Array.of_list (List.rev !members) :: !sets
+      end)
+    !finish_stack;
+  {
+    priority;
+    sets = Array.of_list (List.rev !sets);
+    max_priority = !max_priority;
+  }
+
+let in_cycle t p a =
+  Array.length t.sets.(t.priority.(a) - 1) > 1
+  || List.exists
+       (fun ci ->
+         match (p.Problem.csts.(ci)).Problem.rhs with
+         | Problem.Rattr b -> b = a
+         | Problem.Rlevel _ -> false)
+       p.Problem.constr_of.(a)

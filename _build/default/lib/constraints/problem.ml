@@ -1,0 +1,145 @@
+type 'lvl rhs = Rlevel of 'lvl | Rattr of int
+type 'lvl cst = { lhs : int array; rhs : 'lvl rhs }
+
+type 'lvl t = {
+  attr_names : string array;
+  attr_index : (string, int) Hashtbl.t;
+  csts : 'lvl cst array;
+  constr_of : int list array;
+  incoming : int list array;
+  dropped : 'lvl Cst.t list;
+}
+
+type error = Cst_error of Cst.error | Undeclared_attr of string
+
+let pp_error ppf = function
+  | Cst_error e -> Cst.pp_error ppf e
+  | Undeclared_attr a ->
+      Format.fprintf ppf "constraint mentions undeclared attribute %S" a
+
+exception Err of error
+
+let compile ?(attrs = []) ?(strict = false) csts =
+  try
+    let names = ref [] and index = Hashtbl.create 64 and next = ref 0 in
+    let declare a =
+      if not (Hashtbl.mem index a) then begin
+        Hashtbl.add index a !next;
+        names := a :: !names;
+        incr next
+      end
+    in
+    List.iter declare attrs;
+    let intern a =
+      match Hashtbl.find_opt index a with
+      | Some i -> i
+      | None ->
+          if strict then raise (Err (Undeclared_attr a));
+          declare a;
+          Hashtbl.find index a
+    in
+    let kept, dropped = List.partition (fun c -> not (Cst.is_trivial c)) csts in
+    let compiled =
+      List.map
+        (fun (c : _ Cst.t) ->
+          let lhs = Array.of_list (List.map intern c.lhs) in
+          Array.sort compare lhs;
+          let rhs =
+            match c.rhs with
+            | Cst.Level l -> Rlevel l
+            | Cst.Attr a -> Rattr (intern a)
+          in
+          { lhs; rhs })
+        kept
+    in
+    (* Intern attributes of dropped constraints too: they are part of the
+       universe and must still receive a (default ⊥) classification. *)
+    List.iter (fun c -> List.iter (fun a -> ignore (intern a)) (Cst.attrs c)) dropped;
+    let n = !next in
+    let csts = Array.of_list compiled in
+    let constr_of = Array.make n [] and incoming = Array.make n [] in
+    Array.iteri
+      (fun ci c ->
+        Array.iter (fun a -> constr_of.(a) <- ci :: constr_of.(a)) c.lhs;
+        match c.rhs with
+        | Rattr a -> incoming.(a) <- ci :: incoming.(a)
+        | Rlevel _ -> ())
+      csts;
+    let ascending = Array.map List.rev in
+    Ok
+      {
+        attr_names = Array.of_list (List.rev !names);
+        attr_index = index;
+        csts;
+        constr_of = ascending constr_of;
+        incoming = ascending incoming;
+        dropped;
+      }
+  with Err e -> Error e
+
+let compile_exn ?attrs ?strict csts =
+  match compile ?attrs ?strict csts with
+  | Ok p -> p
+  | Error e -> invalid_arg (Format.asprintf "Problem.compile: %a" pp_error e)
+
+let n_attrs p = Array.length p.attr_names
+let n_csts p = Array.length p.csts
+
+let total_size p =
+  Array.fold_left (fun acc c -> acc + Array.length c.lhs + 1) 0 p.csts
+
+let attr_name p a = p.attr_names.(a)
+let attr_id p a = Hashtbl.find_opt p.attr_index a
+
+let attr_id_exn p a =
+  match attr_id p a with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Problem.attr_id_exn: unknown attribute %S" a)
+
+let cst_to_source p c =
+  Cst.make_exn
+    ~lhs:(Array.to_list (Array.map (attr_name p) c.lhs))
+    ~rhs:
+      (match c.rhs with
+      | Rlevel l -> Cst.Level l
+      | Rattr a -> Cst.Attr (attr_name p a))
+
+let is_acyclic p =
+  let n = n_attrs p in
+  (* colors: 0 unvisited, 1 on stack, 2 done *)
+  let color = Array.make n 0 in
+  let cyclic = ref false in
+  let rec visit a =
+    if color.(a) = 1 then cyclic := true
+    else if color.(a) = 0 then begin
+      color.(a) <- 1;
+      List.iter
+        (fun ci ->
+          match p.csts.(ci).rhs with Rattr b -> visit b | Rlevel _ -> ())
+        p.constr_of.(a);
+      color.(a) <- 2
+    end
+  in
+  for a = 0 to n - 1 do
+    if not !cyclic then visit a
+  done;
+  not !cyclic
+
+let satisfies ~leq ~lub ~bottom p assignment =
+  Array.for_all
+    (fun c ->
+      let combined =
+        Array.fold_left (fun acc a -> lub acc (assignment a)) bottom c.lhs
+      in
+      let target =
+        match c.rhs with Rlevel l -> l | Rattr a -> assignment a
+      in
+      leq target combined)
+    p.csts
+
+let pp pp_level ppf p =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun c -> Format.fprintf ppf "%a@," (Cst.pp pp_level) (cst_to_source p c))
+    p.csts;
+  Format.fprintf ppf "@]"

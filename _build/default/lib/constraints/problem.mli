@@ -1,0 +1,72 @@
+(** Compiled constraint problems.
+
+    A problem is a set of constraints over an interned attribute universe,
+    indexed the way Algorithm 3.1 needs: for every attribute [A], the
+    constraints whose left-hand side contains [A] ([Constr[A]] in the
+    paper) and the constraints whose right-hand side is [A] (used by the
+    backward DFS of the priority computation and by upper-bound
+    propagation). *)
+
+type 'lvl rhs = Rlevel of 'lvl | Rattr of int
+
+type 'lvl cst = { lhs : int array; rhs : 'lvl rhs }
+(** A compiled constraint; [lhs] is sorted and duplicate-free. *)
+
+type 'lvl t = private {
+  attr_names : string array;
+  attr_index : (string, int) Hashtbl.t;
+  csts : 'lvl cst array;
+  constr_of : int list array;
+      (** [constr_of.(a)] — indices of constraints with [a] in their lhs,
+          ascending *)
+  incoming : int list array;
+      (** [incoming.(a)] — indices of constraints whose rhs is [a],
+          ascending *)
+  dropped : 'lvl Cst.t list;
+      (** trivially satisfied constraints (rhs ∈ lhs) removed at compile
+          time, §3 *)
+}
+
+type error = Cst_error of Cst.error | Undeclared_attr of string
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [compile ?attrs csts] interns attributes and indexes constraints.
+    Attribute ids follow [attrs] order first, then first mention among the
+    constraints.  When [strict] is set (default [false]), constraints may
+    only mention attributes listed in [attrs]. *)
+val compile :
+  ?attrs:string list -> ?strict:bool -> 'lvl Cst.t list -> ('lvl t, error) result
+
+val compile_exn : ?attrs:string list -> ?strict:bool -> 'lvl Cst.t list -> 'lvl t
+
+val n_attrs : 'lvl t -> int
+val n_csts : 'lvl t -> int
+
+(** Total constraint size [S = Σ (|lhs| + 1)] from the complexity analysis. *)
+val total_size : 'lvl t -> int
+
+val attr_name : 'lvl t -> int -> string
+val attr_id : 'lvl t -> string -> int option
+val attr_id_exn : 'lvl t -> string -> int
+
+(** Reconstruct the source-form constraint. *)
+val cst_to_source : 'lvl t -> 'lvl cst -> 'lvl Cst.t
+
+(** [is_acyclic p] — no constraint cycle (every edge from each lhs attribute
+    to the rhs attribute; constraints with level rhs contribute no edge). *)
+val is_acyclic : 'lvl t -> bool
+
+(** [satisfies ~leq ~lub ~bottom p assignment] checks every constraint under
+    the given lattice operations; [assignment] maps attribute ids to
+    levels. *)
+val satisfies :
+  leq:('lvl -> 'lvl -> bool) ->
+  lub:('lvl -> 'lvl -> 'lvl) ->
+  bottom:'lvl ->
+  'lvl t ->
+  (int -> 'lvl) ->
+  bool
+
+val pp :
+  (Format.formatter -> 'lvl -> unit) -> Format.formatter -> 'lvl t -> unit

@@ -1,0 +1,23 @@
+(** Strongly connected components of the constraint graph, by Tarjan's
+    algorithm (iterative).
+
+    Functionally redundant with {!Priorities} — which follows the paper's
+    own two-pass formulation — this module exists as an independent
+    implementation used to cross-check the priority computation in the test
+    suite, and to answer SCC queries without computing priorities. *)
+
+type t = private {
+  component : int array;  (** component id per attribute *)
+  members : int array array;  (** attributes per component id *)
+  n_components : int;
+}
+
+(** Component ids are numbered in reverse topological order of the
+    condensation: if some constraint edge leads from component [c1] to a
+    different component [c2], then [c1 > c2]. *)
+val compute : 'lvl Problem.t -> t
+
+val same_component : t -> int -> int -> bool
+
+(** A component is cyclic if it has more than one member or a self edge. *)
+val is_cyclic_component : t -> 'lvl Problem.t -> int -> bool

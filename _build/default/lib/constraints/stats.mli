@@ -1,0 +1,18 @@
+(** Structural statistics of a compiled problem, in the vocabulary of the
+    paper's complexity analysis (§5). *)
+
+type t = {
+  n_attrs : int;  (** N_A *)
+  n_csts : int;  (** N_C *)
+  total_size : int;  (** S = Σ (|lhs| + 1) *)
+  n_simple : int;
+  n_complex : int;
+  max_lhs : int;
+  acyclic : bool;
+  n_sccs : int;
+  largest_scc : int;
+  n_cyclic_attrs : int;  (** attributes involved in some constraint cycle *)
+}
+
+val compute : 'lvl Problem.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/assignment_io.ml: Array Buffer Format Hashtbl List Minup_constraints Option Printf String

@@ -1,0 +1,1 @@
+lib/core/assignment_io.mli: Format Minup_constraints

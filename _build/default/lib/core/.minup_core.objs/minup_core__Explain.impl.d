@@ -1,0 +1,1 @@
+lib/core/explain.ml: Array Buffer Cst Format Hashtbl List Minup_constraints Minup_lattice Printf Problem Queue Solver

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Minup_constraints Minup_lattice Solver

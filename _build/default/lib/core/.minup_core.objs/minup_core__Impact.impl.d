@@ -1,0 +1,1 @@
+lib/core/impact.ml: Format List Minup_lattice Solver

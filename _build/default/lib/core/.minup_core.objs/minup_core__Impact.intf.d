@@ -1,0 +1,1 @@
+lib/core/impact.mli: Format Minup_constraints Minup_lattice Solver

@@ -1,0 +1,1 @@
+lib/core/paper.ml: Cst Explicit Minup_constraints Minup_lattice

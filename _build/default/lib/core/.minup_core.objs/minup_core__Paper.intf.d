@@ -1,0 +1,1 @@
+lib/core/paper.mli: Explicit Minup_constraints Minup_lattice

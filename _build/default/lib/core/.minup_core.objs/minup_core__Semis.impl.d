@@ -1,0 +1,1 @@
+lib/core/semis.ml: Explicit List Minup_lattice Semilattice Solver

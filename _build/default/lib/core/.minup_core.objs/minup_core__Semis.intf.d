@@ -1,0 +1,1 @@
+lib/core/semis.mli: Explicit Minup_constraints Minup_lattice Semilattice Solver

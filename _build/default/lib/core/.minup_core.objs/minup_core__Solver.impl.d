@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Cst Format Instr Int List Minup_constraints Minup_lattice Priorities Problem Queue Set

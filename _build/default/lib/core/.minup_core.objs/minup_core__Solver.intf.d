@@ -1,0 +1,1 @@
+lib/core/solver.mli: Format Instr Minup_constraints Minup_lattice

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array List Minup_constraints Minup_lattice Seq Solver

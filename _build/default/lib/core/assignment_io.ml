@@ -1,0 +1,74 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+let parse ~level_of_string text =
+  let seen = Hashtbl.create 16 in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | raw :: rest -> (
+        let line =
+          match String.index_opt raw '#' with
+          | Some i -> String.sub raw 0 i
+          | None -> raw
+        in
+        let line = String.trim line in
+        if line = "" then go (lineno + 1) acc rest
+        else
+          match String.index_opt line '=' with
+          | None -> Error { line = lineno; message = "expected 'attr = LEVEL'" }
+          | Some i -> (
+              let attr = String.trim (String.sub line 0 i) in
+              let level =
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              if attr = "" then Error { line = lineno; message = "empty attribute" }
+              else if Hashtbl.mem seen attr then
+                Error
+                  { line = lineno; message = Printf.sprintf "duplicate attribute %S" attr }
+              else
+                match level_of_string level with
+                | Some l ->
+                    Hashtbl.add seen attr ();
+                    go (lineno + 1) ((attr, l) :: acc) rest
+                | None ->
+                    Error
+                      {
+                        line = lineno;
+                        message = Printf.sprintf "unknown level %S" level;
+                      }))
+  in
+  go 1 [] (String.split_on_char '\n' text)
+
+let render ~level_to_string assignment =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (attr, l) ->
+      Buffer.add_string buf (Printf.sprintf "%s = %s\n" attr (level_to_string l)))
+    assignment;
+  Buffer.contents buf
+
+let bind prob assignment =
+  let n = Minup_constraints.Problem.n_attrs prob in
+  let out = Array.make n None in
+  let rec place = function
+    | [] -> Ok ()
+    | (attr, l) :: rest -> (
+        match Minup_constraints.Problem.attr_id prob attr with
+        | None -> Error (`Unknown attr)
+        | Some i ->
+            out.(i) <- Some l;
+            place rest)
+  in
+  match place assignment with
+  | Error _ as e -> e
+  | Ok () -> (
+      let missing = ref None in
+      Array.iteri
+        (fun i v ->
+          if v = None && !missing = None then
+            missing := Some (Minup_constraints.Problem.attr_name prob i))
+        out;
+      match !missing with
+      | Some a -> Error (`Missing a)
+      | None -> Ok (Array.map Option.get out))

@@ -1,0 +1,29 @@
+(** Text format for classification assignments.
+
+    One line per attribute — [attr = LEVEL] — with [#] comments.  This is
+    the interchange format between the classifier and the systems that
+    enforce the labels; {!parse}/{!render} round-trip, and together with
+    {!Explain.Make.is_locally_minimal} they support the auditor workflow:
+    {e given} a deployed labeling, check that it still satisfies the
+    (evolved) constraint set and wastes no visibility. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [parse ~level_of_string text] — unknown levels are reported with their
+    line; duplicate attributes are errors. *)
+val parse :
+  level_of_string:(string -> 'lvl option) ->
+  string ->
+  ((string * 'lvl) list, error) result
+
+val render : level_to_string:('lvl -> string) -> (string * 'lvl) list -> string
+
+(** Match a parsed assignment against a problem's attribute universe:
+    every problem attribute must be present ([`Missing]) and assignments
+    for unknown attributes are rejected ([`Unknown]). *)
+val bind :
+  'lvl Minup_constraints.Problem.t ->
+  (string * 'lvl) list ->
+  ('lvl array, [ `Missing of string | `Unknown of string ]) result

@@ -1,0 +1,57 @@
+(** Justification of a computed classification.
+
+    "Why is this attribute classified so high?" is the question a
+    classification tool must answer for its output to be auditable.  For a
+    minimal solution, every attribute that is not already at ⊥ is pinned,
+    for each way of lowering it, by some level-floor constraint;
+    {!Make.binding_constraints} finds it by {e replaying} the candidate
+    lowering through the constraint graph — lowering dependent attributes
+    as far as the order allows — and reporting the floor that finally
+    blocks ([Direct] when it constrains the attribute itself, [Propagated]
+    when it is reached through inference edges or cycles).
+
+    The same replay decides minimality outright: an assignment is minimal
+    iff no replay succeeds ({!Make.is_locally_minimal}), giving a
+    polynomial-time exact minimality check that the test suite validates
+    against exhaustive enumeration. *)
+
+module Make (L : Minup_lattice.Lattice_intf.S) : sig
+  module S : module type of Solver.Make (L)
+
+  type reason =
+    | Direct of L.level Minup_constraints.Cst.t
+        (** lowering to this cover violates the constraint outright *)
+    | Propagated of L.level Minup_constraints.Cst.t
+        (** the lowering survives locally but forces lowerings elsewhere
+            (through inference edges or cycles) that break this
+            constraint *)
+    | At_bottom  (** the attribute is at ⊥; nothing holds it up *)
+
+  type blocked = { to_level : L.level; reason : reason }
+
+  (** [binding_constraints problem levels attr] — one {!blocked} entry per
+      cover below [levels(attr)].  On a solution produced by the solver,
+      no entry carries [At_bottom] unless the level is ⊥ (minimality). *)
+  val binding_constraints :
+    S.problem -> L.level array -> string -> blocked list
+
+  (** Render a full report for every attribute. *)
+  val report : S.problem -> L.level array -> string
+
+  (** Polynomial-time minimality verification of a satisfying assignment,
+      by the same replay: the assignment is minimal iff no single-seed
+      lowering replay succeeds.
+
+      - {e Sound}: a successful replay exhibits a strictly lower satisfying
+        assignment, so [false] means definitely not minimal.
+      - {e Complete}: if a strictly lower solution [λ'] exists, seed the
+        replay at any attribute with [λ'(a) ≺ λ(a)] and a cover above
+        [λ'(a)]; the replay keeps every value pointwise above [λ'], so no
+        level floor can fail and it succeeds — [true] means minimal.
+
+      Cost is [O(N_A · B · S · H)] — usable at scales where the exhaustive
+      {!Verify} oracle is hopeless.  The suite cross-checks the two on
+      random instances.  Precondition: [levels] satisfies the constraints
+      (check {!S.satisfies} first). *)
+  val is_locally_minimal : S.problem -> L.level array -> bool
+end

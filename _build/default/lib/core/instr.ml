@@ -1,0 +1,28 @@
+type t = {
+  mutable lub : int;
+  mutable glb : int;
+  mutable leq : int;
+  mutable minlevel_calls : int;
+  mutable try_calls : int;
+  mutable try_iterations : int;
+  mutable constraint_checks : int;
+}
+
+let create () =
+  {
+    lub = 0;
+    glb = 0;
+    leq = 0;
+    minlevel_calls = 0;
+    try_calls = 0;
+    try_iterations = 0;
+    constraint_checks = 0;
+  }
+
+let copy t = { t with lub = t.lub }
+let lattice_ops t = t.lub + t.glb + t.leq
+
+let pp ppf t =
+  Format.fprintf ppf
+    "lub=%d glb=%d leq=%d minlevel=%d try=%d try_iters=%d checks=%d" t.lub t.glb
+    t.leq t.minlevel_calls t.try_calls t.try_iterations t.constraint_checks

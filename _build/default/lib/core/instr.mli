@@ -1,0 +1,24 @@
+(** Operation counters.
+
+    The complexity experiments (Thm. 5.2 reproduction) report counted
+    lattice operations and constraint checks rather than relying on wall
+    time alone; the counters match the cost model of the paper's analysis,
+    where [c] is the cost of one lub/glb. *)
+
+type t = {
+  mutable lub : int;
+  mutable glb : int;
+  mutable leq : int;
+  mutable minlevel_calls : int;
+  mutable try_calls : int;
+  mutable try_iterations : int;  (** pairs processed across all [Try] runs *)
+  mutable constraint_checks : int;
+}
+
+val create : unit -> t
+val copy : t -> t
+
+(** Total lattice operations ([lub + glb + leq]). *)
+val lattice_ops : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+open Minup_lattice
+open Minup_constraints
+
+let fig1b =
+  Explicit.create_exn
+    ~names:[ "L1"; "L2"; "L3"; "L4"; "L5"; "L6" ]
+    ~order:
+      [
+        ("L1", "L2");
+        ("L1", "L3");
+        ("L2", "L4");
+        ("L3", "L4");
+        ("L3", "L5");
+        ("L4", "L6");
+        ("L5", "L6");
+      ]
+
+let level name = Cst.Level (Explicit.of_name_exn fig1b name)
+
+(* Declaration order chosen so the two DFS passes visit roots in the order
+   P, (B's tree), (I's tree), D — which reproduces the paper's priority
+   numbering [1]={D}, [2]={I,O,N}, [3]={B,C,E,F,G,M}, [4]={P}. *)
+let fig2_attrs = [ "P"; "B"; "C"; "E"; "F"; "G"; "M"; "I"; "O"; "N"; "D" ]
+
+let fig2_constraints =
+  [
+    (* Basic (acyclic) constraints on level constants. *)
+    Cst.simple "P" (level "L1");
+    Cst.simple "G" (level "L1");
+    Cst.simple "F" (level "L2");
+    Cst.simple "M" (level "L3");
+    Cst.simple "C" (level "L4");
+    Cst.simple "B" (level "L5");
+    (* The cyclic constraints of §2. *)
+    Cst.make_exn ~lhs:[ "E"; "F" ] ~rhs:(Cst.Attr "M");
+    Cst.simple "M" (Cst.Attr "G");
+    Cst.make_exn ~lhs:[ "D"; "G" ] ~rhs:(Cst.Attr "C");
+    Cst.simple "C" (Cst.Attr "E");
+    Cst.simple "C" (Cst.Attr "F");
+    Cst.make_exn ~lhs:[ "F"; "I" ] ~rhs:(Cst.Attr "B");
+    Cst.simple "B" (Cst.Attr "M");
+    (* The simple cycle. *)
+    Cst.simple "I" (Cst.Attr "O");
+    Cst.simple "O" (Cst.Attr "N");
+    Cst.simple "N" (Cst.Attr "I");
+  ]
+
+let fig2_expected_priorities =
+  [
+    [ "D" ];
+    [ "I"; "O"; "N" ];
+    [ "B"; "C"; "E"; "F"; "G"; "M" ];
+    [ "P" ];
+  ]
+
+let fig2_expected_solution =
+  [
+    ("P", "L1");
+    ("B", "L5");
+    ("C", "L4");
+    ("E", "L1");
+    ("F", "L4");
+    ("G", "L1");
+    ("M", "L3");
+    ("I", "L5");
+    ("O", "L5");
+    ("N", "L5");
+    ("D", "L4");
+  ]
+
+let sec31_constraints =
+  [
+    Cst.make_exn ~lhs:[ "A"; "B" ] ~rhs:(level "L4");
+    Cst.simple "A" (level "L1");
+    Cst.simple "B" (level "L2");
+  ]
+
+let sec31_minimal_solutions =
+  [ [ ("A", "L3"); ("B", "L2") ]; [ ("A", "L1"); ("B", "L4") ] ]

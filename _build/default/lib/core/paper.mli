@@ -1,0 +1,50 @@
+(** The paper's worked examples, shared by tests, examples and benches.
+
+    {b Figure 1(b)} — the 6-level lattice.  The Hasse diagram reconstructed
+    from the §3.1 example and the Fig. 2(b) trace is:
+
+    {v
+            L6
+           /  \
+         L4    L5
+        /  \  /
+      L2    L3
+        \  /
+         L1
+    v}
+
+    (lub(L2,L3) = L4 per §3.1; glb(L4,L5) = L3 and the cover order of the
+    trace pin the rest down.)
+
+    {b Figure 2(a)} — the 16-constraint example: the seven cyclic
+    constraints listed in §2, the I/O/N simple cycle, and six basic
+    constraints on level constants (P,G ⊒ L1; F ⊒ L2; M ⊒ L3; C ⊒ L4;
+    B ⊒ L5) recovered from the execution trace.
+
+    {b Figure 2(b)} — the expected priority partition
+    ([{D} ≺ {I,O,N} ≺ {B,C,E,F,G,M} ≺ {P}]) and the final minimal
+    classification. *)
+
+open Minup_lattice
+
+(** The Fig. 1(b) lattice. *)
+val fig1b : Explicit.t
+
+(** Attribute declaration order that reproduces the paper's priority
+    numbering exactly. *)
+val fig2_attrs : string list
+
+val fig2_constraints : Explicit.level Minup_constraints.Cst.t list
+
+(** Expected priority sets, lowest priority first:
+    [ [D]; [I,O,N]; [B,C,E,F,G,M]; [P] ]. *)
+val fig2_expected_priorities : string list list
+
+(** The paper's final minimal classification (bottom row of Fig. 2(b)). *)
+val fig2_expected_solution : (string * string) list
+
+(** §3.1 example over Fig. 1(b): [lub{A,B} ⊒ L4], [A ⊒ L1], [B ⊒ L2];
+    its two minimal solutions are [A↦L3, B↦L2] and [A↦L1, B↦L4]. *)
+val sec31_constraints : Explicit.level Minup_constraints.Cst.t list
+
+val sec31_minimal_solutions : (string * string) list list

@@ -1,0 +1,28 @@
+open Minup_lattice
+module Solve = Solver.Make (Explicit)
+
+type outcome = {
+  solution : Solve.solution;
+  unsatisfiable : string list;
+  unconstrained : string list;
+}
+
+let solve (semi : Semilattice.t) ?attrs csts =
+  match Solve.compile ~lattice:semi.lattice ?attrs csts with
+  | Error _ as e -> e
+  | Ok problem ->
+      let solution = Solve.solve problem in
+      let at dummy =
+        match dummy with
+        | None -> []
+        | Some d ->
+            List.filter_map
+              (fun (a, l) -> if l = d then Some a else None)
+              solution.Solve.assignment
+      in
+      Ok
+        {
+          solution;
+          unsatisfiable = at semi.dummy_top;
+          unconstrained = at semi.dummy_bottom;
+        }

@@ -1,0 +1,423 @@
+open Minup_constraints
+
+module Make (L : Minup_lattice.Lattice_intf.S) = struct
+  type problem = {
+    lat : L.t;
+    prob : L.level Problem.t;
+    prio : Priorities.t;
+  }
+
+  let compile ~lattice ?attrs csts =
+    match Problem.compile ?attrs csts with
+    | Error _ as e -> e
+    | Ok prob -> Ok { lat = lattice; prob; prio = Priorities.compute prob }
+
+  let compile_exn ~lattice ?attrs csts =
+    match compile ~lattice ?attrs csts with
+    | Ok p -> p
+    | Error e -> invalid_arg (Format.asprintf "Solver.compile: %a" Problem.pp_error e)
+
+  type event =
+    | Consider of { attr : string; priority : int }
+    | Back_assigned of { attr : string; level : L.level }
+    | Try_lower of {
+        attr : string;
+        target : L.level;
+        lowered : (string * L.level) list option;
+      }
+    | Finalized of { attr : string; level : L.level }
+
+  type solution = {
+    levels : L.level array;
+    assignment : (string * L.level) list;
+    stats : Instr.t;
+  }
+
+  exception Try_failed
+
+  (* The whole algorithm, shared between the plain (§§3–5) and the
+     upper-bound (§6) modes.  [init] gives the starting level of every
+     attribute (⊤, or the derived upper bound); [bounds_mode] forces
+     Minlevel to run for every attribute of every complex constraint. *)
+  let solve_internal ?(on_event = fun _ -> ()) ?residual ?upgrade_preference
+      ~init ~bounds_mode { lat; prob; prio } =
+    let n = Problem.n_attrs prob in
+    let csts = prob.Problem.csts in
+    let stats = Instr.create () in
+    let lub a b =
+      stats.Instr.lub <- stats.Instr.lub + 1;
+      L.lub lat a b
+    in
+    let glb a b =
+      stats.Instr.glb <- stats.Instr.glb + 1;
+      L.glb lat a b
+    in
+    let leq a b =
+      stats.Instr.leq <- stats.Instr.leq + 1;
+      L.leq lat a b
+    in
+    let bottom = L.bottom lat in
+    let lam = Array.init n init in
+    let done_ = Array.make n false in
+    let unlabeled =
+      Array.map (fun (c : _ Problem.cst) -> Array.length c.lhs) csts
+    in
+    let rhs_level (c : _ Problem.cst) =
+      match c.rhs with Problem.Rlevel l -> l | Problem.Rattr b -> lam.(b)
+    in
+    let rhs_done (c : _ Problem.cst) =
+      match c.rhs with Problem.Rlevel _ -> true | Problem.Rattr b -> done_.(b)
+    in
+    (* MINLEVEL(A, lhs, rhs): a minimal level A can assume without violating
+       the constraint, given the current levels of the other lhs members. *)
+    let minlevel a (c : _ Problem.cst) =
+      stats.Instr.minlevel_calls <- stats.Instr.minlevel_calls + 1;
+      let lubothers =
+        Array.fold_left
+          (fun acc a' -> if a' = a then acc else lub acc lam.(a'))
+          bottom c.lhs
+      in
+      let target = rhs_level c in
+      match residual with
+      | Some r -> r lat ~target ~others:lubothers
+      | None ->
+          if leq target lubothers then bottom
+          else begin
+            (* Descend one cover at a time; stop when no direct descendant
+               of [last] keeps the constraint satisfiable. *)
+            let last = ref lam.(a) in
+            let continue = ref true in
+            while !continue do
+              match
+                List.find_opt
+                  (fun l' -> leq target (lub l' lubothers))
+                  (L.covers_below lat !last)
+              with
+              | Some l' -> last := l'
+              | None -> continue := false
+            done;
+            !last
+          end
+    in
+    (* TRY(A, l): propagate the candidate lowering λ(A) := l forward through
+       the not-yet-done part of the constraint graph.  Returns the set of
+       simultaneous lowerings that keeps every constraint satisfied, or
+       None if some constraint with a finalized right-hand side breaks. *)
+    let try_lower a0 l0 =
+      stats.Instr.try_calls <- stats.Instr.try_calls + 1;
+      let tocheck = Array.make n None and tolower = Array.make n None in
+      let queue = Queue.create () in
+      tocheck.(a0) <- Some l0;
+      Queue.push a0 queue;
+      let touched = ref [ a0 ] in
+      (* [touched] lets us read the final Tolower cheaply. *)
+      let enqueue b lvl =
+        if tocheck.(b) = None && tolower.(b) = None then touched := b :: !touched;
+        tocheck.(b) <- Some lvl;
+        Queue.push b queue
+      in
+      try
+        while not (Queue.is_empty queue) do
+          let x = Queue.pop queue in
+          match tocheck.(x) with
+          | None -> () (* stale entry: the pair was moved or replaced *)
+          | Some lx ->
+              tocheck.(x) <- None;
+              tolower.(x) <- Some lx;
+              stats.Instr.try_iterations <- stats.Instr.try_iterations + 1;
+              List.iter
+                (fun ci ->
+                  stats.Instr.constraint_checks <-
+                    stats.Instr.constraint_checks + 1;
+                  let c = csts.(ci) in
+                  let level =
+                    Array.fold_left
+                      (fun acc a'' ->
+                        match tolower.(a'') with
+                        | Some l'' -> lub acc l''
+                        | None -> lub acc lam.(a''))
+                      bottom c.lhs
+                  in
+                  if rhs_done c then begin
+                    if not (leq (rhs_level c) level) then raise Try_failed
+                  end
+                  else
+                    match c.rhs with
+                    | Problem.Rlevel _ -> assert false
+                    | Problem.Rattr b ->
+                        if not (leq lam.(b) level) then begin
+                          let newlevel = glb lam.(b) level in
+                          let pending =
+                            match tolower.(b) with
+                            | Some l'' -> Some (`Lower, l'')
+                            | None -> (
+                                match tocheck.(b) with
+                                | Some l'' -> Some (`Check, l'')
+                                | None -> None)
+                          in
+                          match pending with
+                          | None -> enqueue b newlevel
+                          | Some (where, l'') ->
+                              if not (leq l'' newlevel) then begin
+                                (* The recorded lowering and the one now
+                                   required are incomparable (or ours is
+                                   lower): the attribute must end below
+                                   both, i.e. at their glb. *)
+                                let nl = glb l'' newlevel in
+                                (match where with
+                                | `Lower -> tolower.(b) <- None
+                                | `Check -> ());
+                                enqueue b nl
+                              end
+                          (* Otherwise the pending lowering already implies
+                             satisfaction; leave it alone. *)
+                        end)
+                prob.Problem.constr_of.(x)
+        done;
+        Some
+          (List.filter_map
+             (fun x ->
+               match tolower.(x) with Some l -> Some (x, l) | None -> None)
+             !touched)
+      with Try_failed -> None
+    in
+    (* BIGLOOP. *)
+    let attr_name = Problem.attr_name prob in
+    (* BigLoop may process the priority sets (= SCCs) in any order that
+       labels every right-hand side before its left-hand sides — i.e. any
+       sink-first topological order of the condensation.  The default is
+       decreasing priority, as in the paper.  An upgrade preference picks a
+       different valid order: the attribute that absorbs a complex
+       constraint's upgrade is the last of its lhs to be labeled, so sets
+       and, within a set, attributes holding low-preference attributes are
+       scheduled first and high-preference ones last. *)
+    let member_key =
+      match upgrade_preference with
+      | None -> fun a -> (0, a)
+      | Some pref -> fun a -> (pref (Problem.attr_name prob a), a)
+    in
+    let set_order =
+      match upgrade_preference with
+      | None ->
+          List.init prio.Priorities.max_priority (fun i ->
+              prio.Priorities.max_priority - i)
+      | Some pref ->
+          (* Kahn over the condensation, following edges lhs-set → rhs-set
+             backward: a set is available once every set it depends on
+             (reachable via constraints) is labeled.  Among available sets,
+             take the one holding the least-preferred attribute first. *)
+          let np = prio.Priorities.max_priority in
+          let module IS = Set.Make (Int) in
+          let out = Array.make (np + 1) IS.empty in
+          let into = Array.make (np + 1) IS.empty in
+          Array.iter
+            (fun (c : _ Problem.cst) ->
+              match c.rhs with
+              | Problem.Rlevel _ -> ()
+              | Problem.Rattr b ->
+                  let pb = prio.Priorities.priority.(b) in
+                  Array.iter
+                    (fun a ->
+                      let pa = prio.Priorities.priority.(a) in
+                      if pa <> pb then begin
+                        out.(pa) <- IS.add pb out.(pa);
+                        into.(pb) <- IS.add pa into.(pb)
+                      end)
+                    c.lhs)
+            csts;
+          let set_key p =
+            Array.fold_left
+              (fun acc a -> min acc (pref (Problem.attr_name prob a), a))
+              (max_int, max_int)
+              prio.Priorities.sets.(p - 1)
+          in
+          let order = ref [] in
+          let available =
+            ref
+              (List.filter
+                 (fun p -> IS.is_empty out.(p))
+                 (List.init np (fun i -> i + 1)))
+          in
+          for _ = 1 to np do
+            match
+              List.sort
+                (fun p q -> compare (set_key p) (set_key q))
+                !available
+            with
+            | [] -> assert false
+            | p :: rest ->
+                order := p :: !order;
+                available := rest;
+                IS.iter
+                  (fun q ->
+                    out.(q) <- IS.remove p out.(q);
+                    if IS.is_empty out.(q) then available := q :: !available)
+                  into.(p)
+          done;
+          List.rev !order
+    in
+    List.iter
+      (fun p ->
+      let members = Array.copy prio.Priorities.sets.(p - 1) in
+      Array.sort (fun a b -> compare (member_key a) (member_key b)) members;
+      Array.iter
+        (fun a ->
+          on_event (Consider { attr = attr_name a; priority = p });
+          done_.(a) <- true;
+          let l = ref bottom in
+          List.iter
+            (fun ci ->
+              let c = csts.(ci) in
+              let complex = Array.length c.lhs > 1 in
+              if complex then unlabeled.(ci) <- unlabeled.(ci) - 1;
+              if rhs_done c then begin
+                if not complex then l := lub !l (rhs_level c)
+                else if unlabeled.(ci) = 0 || bounds_mode then
+                  l := lub !l (minlevel a c)
+              end
+              else done_.(a) <- false)
+            prob.Problem.constr_of.(a);
+          if done_.(a) then begin
+            lam.(a) <- !l;
+            on_event (Back_assigned { attr = attr_name a; level = !l })
+          end
+          else begin
+            (* Forward lowering through the cycle: DSet holds the maximal
+               levels strictly below λ(A) that still dominate the lower
+               bound l — exactly the covers of λ(A) dominating l. *)
+            let dset () =
+              List.filter (fun l' -> leq !l l') (L.covers_below lat lam.(a))
+            in
+            let ds = ref (dset ()) in
+            let continue = ref true in
+            while !continue do
+              match !ds with
+              | [] -> continue := false
+              | l'' :: rest -> (
+                  ds := rest;
+                  match try_lower a l'' with
+                  | Some lowers ->
+                      List.iter (fun (a', l') -> lam.(a') <- l') lowers;
+                      on_event
+                        (Try_lower
+                           {
+                             attr = attr_name a;
+                             target = l'';
+                             lowered =
+                               Some
+                                 (List.map
+                                    (fun (a', l') -> (attr_name a', l'))
+                                    lowers);
+                           });
+                      ds := dset ()
+                  | None ->
+                      on_event
+                        (Try_lower
+                           { attr = attr_name a; target = l''; lowered = None }))
+            done;
+            done_.(a) <- true;
+            on_event (Finalized { attr = attr_name a; level = lam.(a) })
+          end)
+        members)
+      set_order;
+    {
+      levels = lam;
+      assignment =
+        List.init n (fun a -> (attr_name a, lam.(a)));
+      stats;
+    }
+
+  let solve ?on_event ?residual ?upgrade_preference ({ lat; _ } as problem) =
+    solve_internal ?on_event ?residual ?upgrade_preference
+      ~init:(fun _ -> L.top lat)
+      ~bounds_mode:false problem
+
+  let find problem solution attr =
+    match Problem.attr_id problem.prob attr with
+    | Some a -> Some solution.levels.(a)
+    | None -> None
+
+  let satisfies { lat; prob; _ } levels =
+    Problem.satisfies ~leq:(L.leq lat) ~lub:(L.lub lat) ~bottom:(L.bottom lat)
+      prob
+      (fun a -> levels.(a))
+
+  type inconsistency =
+    | Unknown_attr of string
+    | Unsatisfiable of { cst : L.level Cst.t; bound : L.level }
+
+  let pp_inconsistency lat ppf = function
+    | Unknown_attr a ->
+        Format.fprintf ppf "upper bound on unknown attribute %S" a
+    | Unsatisfiable { cst; bound } ->
+        Format.fprintf ppf
+          "constraint %a cannot be satisfied: the left-hand side is capped at %a"
+          (Cst.pp (L.pp_level lat))
+          cst (L.pp_level lat) bound
+
+  exception Inconsistent of inconsistency
+
+  let derive_upper_bounds ({ lat; prob; _ } : problem) bounds =
+    let n = Problem.n_attrs prob in
+    let top = L.top lat in
+    let ub = Array.make n top in
+    try
+      List.iter
+        (fun (name, l) ->
+          match Problem.attr_id prob name with
+          | Some a -> ub.(a) <- L.glb lat ub.(a) l
+          | None -> raise (Inconsistent (Unknown_attr name)))
+        bounds;
+      (* Push bounds through the graph to the greatest fixpoint: across a
+         constraint, the rhs can be no higher than the lub of the lhs
+         bounds. *)
+      let queue = Queue.create () in
+      Array.iteri (fun ci _ -> Queue.push ci queue) prob.Problem.csts;
+      while not (Queue.is_empty queue) do
+        let ci = Queue.pop queue in
+        let c = prob.Problem.csts.(ci) in
+        match c.rhs with
+        | Problem.Rlevel _ -> ()
+        | Problem.Rattr b ->
+            let incoming =
+              Array.fold_left
+                (fun acc a -> L.lub lat acc ub.(a))
+                (L.bottom lat) c.lhs
+            in
+            let nb = L.glb lat ub.(b) incoming in
+            if not (L.equal lat nb ub.(b)) then begin
+              ub.(b) <- nb;
+              List.iter (fun cj -> Queue.push cj queue) prob.Problem.constr_of.(b)
+            end
+      done;
+      (* Inconsistencies surface at security-level nodes: a level-rhs
+         constraint whose lhs, even at its bounds, cannot reach the
+         target. *)
+      Array.iter
+        (fun (c : _ Problem.cst) ->
+          match c.rhs with
+          | Problem.Rattr _ -> ()
+          | Problem.Rlevel target ->
+              let incoming =
+                Array.fold_left
+                  (fun acc a -> L.lub lat acc ub.(a))
+                  (L.bottom lat) c.lhs
+              in
+              if not (L.leq lat target incoming) then
+                raise
+                  (Inconsistent
+                     (Unsatisfiable
+                        { cst = Problem.cst_to_source prob c; bound = incoming })))
+        prob.Problem.csts;
+      Ok ub
+    with Inconsistent i -> Error i
+
+  let solve_with_bounds ?on_event ?residual ?upgrade_preference problem bounds =
+    match derive_upper_bounds problem bounds with
+    | Error _ as e -> e
+    | Ok ub ->
+        Ok
+          (solve_internal ?on_event ?residual ?upgrade_preference
+             ~init:(fun a -> ub.(a))
+             ~bounds_mode:true problem)
+end

@@ -1,0 +1,137 @@
+(** Algorithm 3.1 — minimal classification generation.
+
+    [Make (L)] instantiates the paper's algorithm over any lattice
+    implementation.  Given a compiled constraint problem, {!Make.solve}
+    computes a classification [λ : A → L] that satisfies every constraint
+    and is pointwise minimal (Definition 2.2): no attribute can be assigned
+    a strictly lower level (even jointly with others) while preserving
+    satisfaction.
+
+    The implementation follows the paper's structure exactly:
+
+    - priorities are computed by {!Minup_constraints.Priorities} (the
+      two-pass DFS of [Main]);
+    - [Bigloop] walks priority sets in decreasing order; attributes whose
+      constraints all have finalized right-hand sides are labeled by
+      {e back-propagation} (one [lub] per simple constraint, one [Minlevel]
+      per complex constraint whose turn has come);
+    - attributes entangled in constraint cycles are labeled by {e forward
+      lowering}: starting from their current (initially [⊤]) level, each
+      cover below is attempted via [Try], which propagates the candidate
+      lowering through the cycle and either fails or returns a consistent
+      set of simultaneous lowerings.
+
+    Determinism: priority sets are processed in ascending attribute-id
+    (declaration) order, lattice covers in the order {!Lattice_intf.S.covers_below}
+    yields them, and [Try]'s worklist is FIFO — identical inputs produce
+    identical classifications and traces. *)
+
+module Make (L : Minup_lattice.Lattice_intf.S) : sig
+  type problem = private {
+    lat : L.t;
+    prob : L.level Minup_constraints.Problem.t;
+    prio : Minup_constraints.Priorities.t;
+  }
+
+  (** Compile constraints into an indexed problem (see
+      {!Minup_constraints.Problem.compile}) and precompute priorities. *)
+  val compile :
+    lattice:L.t ->
+    ?attrs:string list ->
+    L.level Minup_constraints.Cst.t list ->
+    (problem, Minup_constraints.Problem.error) result
+
+  val compile_exn :
+    lattice:L.t ->
+    ?attrs:string list ->
+    L.level Minup_constraints.Cst.t list ->
+    problem
+
+  (** Trace events, emitted in execution order; replaying them reconstructs
+      the classification table of Fig. 2(b). *)
+  type event =
+    | Consider of { attr : string; priority : int }
+        (** [Bigloop] turns to this attribute *)
+    | Back_assigned of { attr : string; level : L.level }
+        (** labeled by back-propagation *)
+    | Try_lower of {
+        attr : string;
+        target : L.level;
+        lowered : (string * L.level) list option;
+      }
+        (** a forward-lowering attempt; [None] means the attempt failed *)
+    | Finalized of { attr : string; level : L.level }
+        (** a cyclic attribute's level will no longer change *)
+
+  type solution = {
+    levels : L.level array;  (** by attribute id *)
+    assignment : (string * L.level) list;  (** by attribute name *)
+    stats : Instr.t;
+  }
+
+  (** [solve ?on_event ?residual ?upgrade_preference problem].
+
+      [residual], when provided, replaces the [Minlevel] lattice walk with a
+      direct computation of the least level [m] such that
+      [lub m others ⊒ target] (footnote 4; see e.g.
+      {!Minup_lattice.Compartment.residual}).  It must agree with that
+      specification or minimality is lost.
+
+      [upgrade_preference] biases {e which} minimal solution is returned:
+      when a complex constraint leaves a choice of attribute to upgrade,
+      attributes with a higher preference value are favored as upgrade
+      targets (§3.1 notes the particular minimal solution depends on the
+      order of constraint evaluation; this exposes that order).  The
+      preference selects among the valid sink-first schedules of the SCC
+      condensation, so the result is a minimal solution either way; it is
+      best-effort where the constraint structure forces an order (an
+      attribute can only absorb an upgrade if it is not required before
+      its left-hand-side peers). *)
+  val solve :
+    ?on_event:(event -> unit) ->
+    ?residual:(L.t -> target:L.level -> others:L.level -> L.level) ->
+    ?upgrade_preference:(string -> int) ->
+    problem ->
+    solution
+
+  (** [find problem solution attr]. *)
+  val find : problem -> solution -> string -> L.level option
+
+  (** [satisfies problem levels] — do the levels satisfy every constraint? *)
+  val satisfies : problem -> L.level array -> bool
+
+  (** {2 Upper-bound constraints (§6)} *)
+
+  type inconsistency =
+    | Unknown_attr of string
+        (** an upper bound names an attribute absent from the problem *)
+    | Unsatisfiable of {
+        cst : L.level Minup_constraints.Cst.t;
+        bound : L.level;
+      }
+        (** a level-rhs constraint whose left-hand side, even at its derived
+            upper bounds ([bound] is their lub), cannot dominate the target *)
+
+  val pp_inconsistency :
+    L.t -> Format.formatter -> inconsistency -> unit
+
+  (** The preprocessing pass: push upper bounds through the constraint
+      graph ([glb] where bounds meet, [lub] across complex left-hand
+      sides), returning each attribute's maximum allowed level, or the
+      first inconsistency. *)
+  val derive_upper_bounds :
+    problem -> (string * L.level) list -> (L.level array, inconsistency) result
+
+  (** Solve under upper-bound constraints: preprocess, then run the
+      modified [Bigloop] starting from the derived bounds (which must
+      invoke [Minlevel] for every attribute of every complex constraint,
+      as satisfaction can no longer be assumed while a left-hand side
+      neighbour is unlabeled). *)
+  val solve_with_bounds :
+    ?on_event:(event -> unit) ->
+    ?residual:(L.t -> target:L.level -> others:L.level -> L.level) ->
+    ?upgrade_preference:(string -> int) ->
+    problem ->
+    (string * L.level) list ->
+    (solution, inconsistency) result
+end

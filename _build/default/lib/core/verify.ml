@@ -1,0 +1,79 @@
+module Make (L : Minup_lattice.Lattice_intf.S) = struct
+  module S = Solver.Make (L)
+  module D = Minup_lattice.Lattice_intf.Derived (L)
+
+  let dominates lat a b =
+    let ok = ref true in
+    Array.iteri (fun i ai -> if not (L.leq lat b.(i) ai) then ok := false) a;
+    !ok
+
+  let equal_assignment lat a b =
+    let ok = ref true in
+    Array.iteri (fun i ai -> if not (L.equal lat ai b.(i)) then ok := false) a;
+    !ok
+
+  (* Sequence of all assignment arrays drawing position i from
+     candidates.(i). *)
+  let product (candidates : L.level list array) : L.level array Seq.t =
+    let n = Array.length candidates in
+    let rec go i : L.level list Seq.t =
+      if i = n then Seq.return []
+      else
+        Seq.concat_map
+          (fun x -> Seq.map (fun rest -> x :: rest) (go (i + 1)))
+          (List.to_seq candidates.(i))
+    in
+    Seq.map Array.of_list (go 0)
+
+  let space_size candidates cap =
+    Array.fold_left
+      (fun acc c ->
+        match acc with
+        | None -> None
+        | Some s ->
+            let k = List.length c in
+            if k = 0 || s > cap / k then None else Some (s * k))
+      (Some 1) candidates
+
+  let solutions_over ?(cap = 2_000_000) (problem : S.problem) candidates =
+    match space_size candidates cap with
+    | None -> Error `Too_large
+    | Some _ ->
+        Ok
+          (Seq.fold_left
+             (fun acc a -> if S.satisfies problem a then a :: acc else acc)
+             []
+             (product candidates)
+          |> List.rev)
+
+  let all_solutions ?cap (problem : S.problem) =
+    let all_levels = List.of_seq (L.levels problem.lat) in
+    let n = Minup_constraints.Problem.n_attrs problem.prob in
+    solutions_over ?cap problem (Array.make n all_levels)
+
+  let minimal_among lat sols =
+    List.filter
+      (fun s ->
+        not
+          (List.exists
+             (fun s' -> dominates lat s s' && not (equal_assignment lat s s'))
+             sols))
+      sols
+
+  let minimal_solutions ?cap (problem : S.problem) =
+    match all_solutions ?cap problem with
+    | Error _ as e -> e
+    | Ok sols -> Ok (minimal_among problem.lat sols)
+
+  let is_minimal_solution ?cap (problem : S.problem) levels =
+    if not (S.satisfies problem levels) then Ok false
+    else
+      let candidates = Array.map (D.downset problem.lat) levels in
+      match solutions_over ?cap problem candidates with
+      | Error _ as e -> e
+      | Ok below ->
+          Ok
+            (List.for_all
+               (fun s -> equal_assignment problem.lat s levels)
+               below)
+end

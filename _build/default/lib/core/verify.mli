@@ -1,0 +1,38 @@
+(** Ground-truth verification of solutions and minimality.
+
+    Minimality (Definition 2.2) is a global property: an assignment can be
+    non-minimal even though no {e single} attribute can be lowered alone
+    (cyclic constraints may only admit simultaneous lowerings).  The
+    checkers here therefore enumerate assignment spaces exhaustively —
+    they are oracles for tests and small instances, not production paths.
+    Every enumeration is guarded by a candidate-count cap. *)
+
+module Make (L : Minup_lattice.Lattice_intf.S) : sig
+  module S : module type of Solver.Make (L)
+
+  (** [dominates lat a b] — pointwise [b ⊑ a] for assignment arrays
+      (i.e. [a] classifies everything at least as high as [b]). *)
+  val dominates : L.t -> L.level array -> L.level array -> bool
+
+  val equal_assignment : L.t -> L.level array -> L.level array -> bool
+
+  (** All assignments satisfying the constraints, enumerated over the full
+      space [|L|^{N_A}].  [Error `Too_large] if that space exceeds [cap]
+      (default [2_000_000]). *)
+  val all_solutions :
+    ?cap:int -> S.problem -> (L.level array list, [ `Too_large ]) result
+
+  (** The pointwise-minimal elements of a solution list. *)
+  val minimal_among : L.t -> L.level array list -> L.level array list
+
+  (** All minimal solutions of the problem. *)
+  val minimal_solutions :
+    ?cap:int -> S.problem -> (L.level array list, [ `Too_large ]) result
+
+  (** [is_minimal_solution problem levels] — [levels] satisfies the
+      constraints and no distinct assignment pointwise below it does.  Only
+      the product of down-sets of [levels] is enumerated, which is far
+      smaller than the full space. *)
+  val is_minimal_solution :
+    ?cap:int -> S.problem -> L.level array -> (bool, [ `Too_large ]) result
+end

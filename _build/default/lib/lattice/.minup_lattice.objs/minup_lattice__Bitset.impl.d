@@ -1,0 +1,1 @@
+lib/lattice/bitset.ml: Array Format Int List Sys

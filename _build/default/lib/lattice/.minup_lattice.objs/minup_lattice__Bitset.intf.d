@@ -1,0 +1,1 @@
+lib/lattice/bitset.mli: Format

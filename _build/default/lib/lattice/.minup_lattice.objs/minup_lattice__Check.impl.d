@@ -1,0 +1,1 @@
+lib/lattice/check.ml: Format Lattice_intf List Map Printf Seq

@@ -1,0 +1,1 @@
+lib/lattice/compartment.ml: Format Int List Powerset Printf Seq String Total

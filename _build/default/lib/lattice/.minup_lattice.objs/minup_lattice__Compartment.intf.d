@@ -1,0 +1,1 @@
+lib/lattice/compartment.mli: Lattice_intf

@@ -1,0 +1,1 @@
+lib/lattice/compartment_wide.ml: Array Bitset Format Hashtbl Int List Printf Seq String Sys Total

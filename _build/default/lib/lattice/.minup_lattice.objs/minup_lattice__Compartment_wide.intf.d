@@ -1,0 +1,1 @@
+lib/lattice/compartment_wide.mli: Lattice_intf

@@ -1,0 +1,1 @@
+lib/lattice/dot.ml: Buffer Explicit List Poset Printf String

@@ -1,0 +1,1 @@
+lib/lattice/dot.mli: Explicit Poset

@@ -1,0 +1,1 @@
+lib/lattice/encode.ml: Array Explicit Hashtbl List

@@ -1,0 +1,1 @@
+lib/lattice/encode.mli: Explicit

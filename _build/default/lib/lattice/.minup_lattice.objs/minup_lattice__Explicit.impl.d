@@ -1,0 +1,1 @@
+lib/lattice/explicit.ml: Array Bitset Format Fun Hashtbl Hasse Int List Printf Seq

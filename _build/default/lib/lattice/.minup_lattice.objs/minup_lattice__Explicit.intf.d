@@ -1,0 +1,1 @@
+lib/lattice/explicit.mli: Format Lattice_intf

@@ -1,0 +1,1 @@
+lib/lattice/hasse.ml: Array Bitset Int List Set

@@ -1,0 +1,1 @@
+lib/lattice/hasse.mli: Bitset

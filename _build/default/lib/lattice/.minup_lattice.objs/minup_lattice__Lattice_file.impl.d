@@ -1,0 +1,1 @@
+lib/lattice/lattice_file.ml: Buffer Explicit Format List Printf Semilattice String

@@ -1,0 +1,1 @@
+lib/lattice/lattice_file.mli: Explicit Format Semilattice

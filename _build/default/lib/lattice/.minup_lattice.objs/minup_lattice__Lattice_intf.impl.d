@@ -1,0 +1,1 @@
+lib/lattice/lattice_intf.ml: Format List Map Seq

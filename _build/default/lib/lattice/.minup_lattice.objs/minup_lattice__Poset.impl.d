@@ -1,0 +1,1 @@
+lib/lattice/poset.ml: Array Bitset Format Fun Hashtbl Hasse List Printf

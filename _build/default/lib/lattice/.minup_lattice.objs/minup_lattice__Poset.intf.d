@@ -1,0 +1,1 @@
+lib/lattice/poset.mli: Format

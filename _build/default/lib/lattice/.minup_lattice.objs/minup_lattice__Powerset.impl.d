@@ -1,0 +1,1 @@
+lib/lattice/powerset.ml: Array Format Fun Hashtbl Int List Printf Seq String Sys

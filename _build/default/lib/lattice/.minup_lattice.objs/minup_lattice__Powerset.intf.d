@@ -1,0 +1,1 @@
+lib/lattice/powerset.mli: Lattice_intf

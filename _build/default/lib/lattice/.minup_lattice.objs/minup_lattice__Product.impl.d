@@ -1,0 +1,1 @@
+lib/lattice/product.ml: Format Lattice_intf List Printf Seq String

@@ -1,0 +1,1 @@
+lib/lattice/semilattice.ml: Explicit Format Hashtbl List

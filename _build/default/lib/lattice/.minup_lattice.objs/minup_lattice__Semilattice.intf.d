@@ -1,0 +1,1 @@
+lib/lattice/semilattice.mli: Explicit

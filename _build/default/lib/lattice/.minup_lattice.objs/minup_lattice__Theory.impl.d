@@ -1,0 +1,1 @@
+lib/lattice/theory.ml: Array Explicit List

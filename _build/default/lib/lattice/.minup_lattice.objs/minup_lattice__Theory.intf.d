@@ -1,0 +1,1 @@
+lib/lattice/theory.mli: Explicit

@@ -1,0 +1,1 @@
+lib/lattice/total.ml: Array Format Fun Hashtbl Int List Printf Seq

@@ -1,0 +1,1 @@
+lib/lattice/total.mli: Lattice_intf

@@ -1,0 +1,141 @@
+type t = { n : int; w : int array }
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit platforms *)
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; w = Array.make (max 1 (words_for n)) 0 }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let set t i =
+  check t i;
+  let q = i / bits_per_word and r = i mod bits_per_word in
+  t.w.(q) <- t.w.(q) lor (1 lsl r)
+
+let clear t i =
+  check t i;
+  let q = i / bits_per_word and r = i mod bits_per_word in
+  t.w.(q) <- t.w.(q) land lnot (1 lsl r)
+
+let mem t i =
+  check t i;
+  let q = i / bits_per_word and r = i mod bits_per_word in
+  t.w.(q) land (1 lsl r) <> 0
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.w
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.w
+
+let copy t = { n = t.n; w = Array.copy t.w }
+
+let same_capacity a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let equal a b =
+  same_capacity a b;
+  Array.for_all2 ( = ) a.w b.w
+
+let subset a b =
+  same_capacity a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.w - 1 do
+    if a.w.(i) land lnot b.w.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let map2 f a b =
+  same_capacity a b;
+  { n = a.n; w = Array.init (Array.length a.w) (fun i -> f a.w.(i) b.w.(i)) }
+
+let inter a b = map2 ( land ) a b
+let union a b = map2 ( lor ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let inter_into a b =
+  same_capacity a b;
+  for i = 0 to Array.length a.w - 1 do
+    a.w.(i) <- a.w.(i) land b.w.(i)
+  done
+
+let union_into a b =
+  same_capacity a b;
+  for i = 0 to Array.length a.w - 1 do
+    a.w.(i) <- a.w.(i) lor b.w.(i)
+  done
+
+let iter f t =
+  for q = 0 to Array.length t.w - 1 do
+    let w = t.w.(q) in
+    if w <> 0 then
+      for r = 0 to bits_per_word - 1 do
+        if w land (1 lsl r) <> 0 then f ((q * bits_per_word) + r)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n l =
+  let t = create n in
+  List.iter (set t) l;
+  t
+
+exception Found of int
+
+let min_elt t =
+  try
+    iter (fun i -> raise (Found i)) t;
+    None
+  with Found i -> Some i
+
+let max_elt t =
+  let best = ref None in
+  for q = Array.length t.w - 1 downto 0 do
+    if !best = None then begin
+      let w = t.w.(q) in
+      if w <> 0 then
+        for r = bits_per_word - 1 downto 0 do
+          if !best = None && w land (1 lsl r) <> 0 then
+            best := Some ((q * bits_per_word) + r)
+        done
+    end
+  done;
+  !best
+
+let disjoint a b =
+  same_capacity a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.w - 1 do
+    if a.w.(i) land b.w.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (to_list t)
+
+let compare a b =
+  same_capacity a b;
+  let rec go i =
+    if i < 0 then 0
+    else
+      match Int.compare a.w.(i) b.w.(i) with 0 -> go (i - 1) | c -> c
+  in
+  go (Array.length a.w - 1)

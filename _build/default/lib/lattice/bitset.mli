@@ -1,0 +1,61 @@
+(** Fixed-capacity mutable bit sets.
+
+    Bit sets are the workhorse behind explicit lattice representations: each
+    element of a poset carries the bit set of elements it dominates (or is
+    dominated by), so that order tests, upper-bound intersections and minimal
+    element extraction are word-parallel operations. *)
+
+type t
+
+(** [create n] is a bit set able to hold members [0 .. n-1], initially empty. *)
+val create : int -> t
+
+(** Capacity the set was created with. *)
+val capacity : t -> int
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+
+(** Number of members. *)
+val cardinal : t -> int
+
+val is_empty : t -> bool
+val copy : t -> t
+val equal : t -> t -> bool
+
+(** [subset a b] is [true] iff every member of [a] is a member of [b]. *)
+val subset : t -> t -> bool
+
+(** [inter a b] is a fresh set holding the intersection. The arguments must
+    have the same capacity. *)
+val inter : t -> t -> t
+
+val union : t -> t -> t
+val diff : t -> t -> t
+
+(** In-place intersection: [a := a ∩ b]. *)
+val inter_into : t -> t -> unit
+
+val union_into : t -> t -> unit
+
+(** [iter f s] applies [f] to members in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val of_list : int -> int list -> t
+
+(** First (smallest) member, if any. *)
+val min_elt : t -> int option
+
+(** Last (largest) member, if any. *)
+val max_elt : t -> int option
+
+(** [disjoint a b] is [true] iff the sets share no member. *)
+val disjoint : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Arbitrary total order (word-wise), for use in maps and sets. *)
+val compare : t -> t -> int

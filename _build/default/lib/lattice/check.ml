@@ -1,0 +1,143 @@
+(** Lattice-law verification.
+
+    [Laws (L)] exhaustively checks that an [L.t] value really is a lattice
+    with consistent operations: partial-order axioms for [leq], agreement of
+    [lub]/[glb] with the order (commutativity, associativity, absorption,
+    idempotence, and [a ⊑ b ⇔ a ⊔ b = b ⇔ a ⊓ b = a]), correctness and
+    completeness of [covers_below], and the advertised [top]/[bottom]/
+    [height].  Used by the test suite on every lattice implementation and on
+    randomly generated lattices. *)
+
+module Laws (L : Lattice_intf.S) = struct
+  let result_of_violation = function
+    | [] -> Ok ()
+    | v :: _ -> Error v
+
+  let check ?(max_size = 64) ?(max_triples = 40_000) lat =
+    let violations = ref [] in
+    let fail fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+    let ls =
+      (* Enumerate up to max_size + 1 to detect oversize lattices. *)
+      List.of_seq (Seq.take (max_size + 1) (L.levels lat))
+    in
+    if List.length ls > max_size then
+      Error (Printf.sprintf "lattice larger than max_size=%d" max_size)
+    else begin
+      let pp = L.pp_level lat in
+      let leq = L.leq lat and lub = L.lub lat and glb = L.glb lat in
+      let equal = L.equal lat in
+      (* Partial-order axioms. *)
+      List.iter
+        (fun a -> if not (leq a a) then fail "leq not reflexive at %a" pp a)
+        ls;
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if leq a b && leq b a && not (equal a b) then
+                fail "leq not antisymmetric at %a, %a" pp a pp b;
+              (* lub/glb consistency with the order. *)
+              let l = lub a b and g = glb a b in
+              if not (leq a l && leq b l) then
+                fail "lub %a %a = %a is not an upper bound" pp a pp b pp l;
+              if not (leq g a && leq g b) then
+                fail "glb %a %a = %a is not a lower bound" pp a pp b pp g;
+              if not (equal l (lub b a)) then fail "lub not commutative at %a, %a" pp a pp b;
+              if not (equal g (glb b a)) then fail "glb not commutative at %a, %a" pp a pp b;
+              if leq a b && not (equal l b) then
+                fail "a ⊑ b but lub a b ≠ b at %a, %a" pp a pp b;
+              if leq a b && not (equal g a) then
+                fail "a ⊑ b but glb a b ≠ a at %a, %a" pp a pp b;
+              if not (equal (lub a (glb a b)) a) then
+                fail "absorption lub/glb fails at %a, %a" pp a pp b;
+              if not (equal (glb a (lub a b)) a) then
+                fail "absorption glb/lub fails at %a, %a" pp a pp b;
+              (* Leastness/greatestness against all candidates. *)
+              List.iter
+                (fun c ->
+                  if leq a c && leq b c && not (leq l c) then
+                    fail "lub %a %a not least (%a is a smaller ub)" pp a pp b pp c;
+                  if leq c a && leq c b && not (leq c g) then
+                    fail "glb %a %a not greatest (%a is a larger lb)" pp a pp b pp c)
+                ls)
+            ls)
+        ls;
+      (* Associativity, bounded by max_triples. *)
+      let count = ref 0 in
+      (try
+         List.iter
+           (fun a ->
+             List.iter
+               (fun b ->
+                 List.iter
+                   (fun c ->
+                     incr count;
+                     if !count > max_triples then raise Exit;
+                     if not (equal (lub a (lub b c)) (lub (lub a b) c)) then
+                       fail "lub not associative at %a, %a, %a" pp a pp b pp c;
+                     if not (equal (glb a (glb b c)) (glb (glb a b) c)) then
+                       fail "glb not associative at %a, %a, %a" pp a pp b pp c)
+                   ls)
+               ls)
+           ls
+       with Exit -> ());
+      (* Top and bottom. *)
+      let t = L.top lat and b = L.bottom lat in
+      List.iter
+        (fun a ->
+          if not (leq a t) then fail "%a not below top" pp a;
+          if not (leq b a) then fail "%a not above bottom" pp a)
+        ls;
+      (* covers_below: strictly below, immediate, and complete. *)
+      List.iter
+        (fun a ->
+          let covers = L.covers_below lat a in
+          List.iter
+            (fun c ->
+              if not (leq c a && not (equal c a)) then
+                fail "cover %a of %a is not strictly below" pp c pp a;
+              List.iter
+                (fun m ->
+                  if
+                    leq c m && leq m a
+                    && not (equal m c)
+                    && not (equal m a)
+                  then fail "cover %a of %a is not immediate (%a between)" pp c pp a pp m)
+                ls)
+            covers;
+          (* Completeness: every strict predecessor lies below some cover. *)
+          List.iter
+            (fun x ->
+              if leq x a && not (equal x a) then
+                if not (List.exists (fun c -> leq x c) covers) then
+                  fail "strict predecessor %a of %a below no cover" pp x pp a)
+            ls)
+        ls;
+      (* Height: longest chain following covers. *)
+      let module M = Map.Make (struct
+        type t = L.level
+
+        let compare = L.compare_level lat
+      end) in
+      let memo = ref M.empty in
+      let rec depth x =
+        match M.find_opt x !memo with
+        | Some d -> d
+        | None ->
+            let d =
+              List.fold_left (fun acc c -> max acc (1 + depth c)) 0
+                (L.covers_below lat x)
+            in
+            memo := M.add x d !memo;
+            d
+      in
+      let h = List.fold_left (fun acc x -> max acc (depth x)) 0 ls in
+      if h <> L.height lat then
+        fail "height mismatch: computed %d, advertised %d" h (L.height lat);
+      (* size agrees with the enumeration when advertised. *)
+      (match L.size lat with
+      | Some n when n <> List.length ls -> fail "size %d ≠ enumerated %d" n (List.length ls)
+      | Some _ | None -> ());
+      result_of_violation (List.rev !violations)
+    end
+end

@@ -1,0 +1,89 @@
+type level = { cls : int; cats : int }
+
+type t = { ladder : Total.t; catset : Powerset.t }
+
+let create ~classifications ~categories =
+  { ladder = Total.create classifications; catset = Powerset.create categories }
+
+let fig1a =
+  create ~classifications:[ "S"; "TS" ] ~categories:[ "Army"; "Nuclear" ]
+
+let dod ~n_categories =
+  create
+    ~classifications:[ "U"; "C"; "S"; "TS" ]
+    ~categories:(List.init n_categories (Printf.sprintf "K%d"))
+
+let make t ~cls ~cats =
+  match (Total.of_name t.ladder cls, Powerset.of_elements t.catset cats) with
+  | Some c, Some m -> Some { cls = c; cats = m }
+  | _ -> None
+
+let make_exn t ~cls ~cats =
+  match make t ~cls ~cats with
+  | Some l -> l
+  | None -> invalid_arg "Compartment.make_exn: unknown classification or category"
+
+let classification_name t l = Total.name t.ladder l.cls
+let category_names t l = Powerset.elements t.catset l.cats
+let n_classifications t = Total.cardinal t.ladder
+let n_categories t = Powerset.arity t.catset
+
+let equal _ a b = a.cls = b.cls && a.cats = b.cats
+
+let compare_level _ a b =
+  match Int.compare a.cls b.cls with 0 -> Int.compare a.cats b.cats | c -> c
+
+let leq t a b = Total.leq t.ladder a.cls b.cls && Powerset.leq t.catset a.cats b.cats
+let lub _ a b = { cls = max a.cls b.cls; cats = a.cats lor b.cats }
+let glb _ a b = { cls = min a.cls b.cls; cats = a.cats land b.cats }
+let top t = { cls = Total.top t.ladder; cats = Powerset.top t.catset }
+let bottom _ = { cls = 0; cats = 0 }
+
+let covers_below t l =
+  let lower_cls =
+    List.map (fun c -> { l with cls = c }) (Total.covers_below t.ladder l.cls)
+  in
+  let lower_cats =
+    List.map (fun m -> { l with cats = m }) (Powerset.covers_below t.catset l.cats)
+  in
+  lower_cls @ lower_cats
+
+let height t = Total.height t.ladder + Powerset.height t.catset
+
+let levels t =
+  Seq.concat_map
+    (fun cls -> Seq.map (fun cats -> { cls; cats }) (Powerset.levels t.catset))
+    (Total.levels t.ladder)
+
+let size t =
+  match (Total.size t.ladder, Powerset.size t.catset) with
+  | Some a, Some b when b = 0 || a <= max_int / b -> Some (a * b)
+  | _ -> None
+
+let level_to_string t l =
+  Printf.sprintf "%s:%s" (Total.name t.ladder l.cls)
+    (Powerset.level_to_string t.catset l.cats)
+
+let pp_level t ppf l = Format.pp_print_string ppf (level_to_string t l)
+
+let level_of_string t s =
+  match String.index_opt s ':' with
+  | None -> (
+      (* A bare classification name means the empty category set. *)
+      match Total.of_name t.ladder (String.trim s) with
+      | Some c -> Some { cls = c; cats = 0 }
+      | None -> None)
+  | Some i -> (
+      let cls = String.trim (String.sub s 0 i) in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match
+        (Total.of_name t.ladder cls, Powerset.level_of_string t.catset rest)
+      with
+      | Some c, Some m -> Some { cls = c; cats = m }
+      | _ -> None)
+
+let residual _ ~target ~others =
+  {
+    cls = (if others.cls >= target.cls then 0 else target.cls);
+    cats = target.cats land lnot others.cats;
+  }

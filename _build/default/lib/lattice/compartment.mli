@@ -1,0 +1,44 @@
+(** Compartmented MLS security lattices (§2, Fig. 1(a); §5).
+
+    An access class is a pair [(s, C)] of a classification level [s] from a
+    totally ordered ladder and a set of categories (compartments) [C];
+    [(s1, C1) ⊑ (s2, C2)] iff [s1 ≤ s2] and [C1 ⊆ C2].  This is the lattice
+    form mandated by DoD 5200.28-STD — at most 16 classification levels and
+    64 categories — and, as §5 of the paper observes, it admits a bit-vector
+    encoding with constant-time dominance, lub and glb.  This module is that
+    encoding (category sets are machine-word masks). *)
+
+type t
+
+type level = { cls : int; cats : int }
+(** [cls] is the rank in the classification ladder; [cats] the category
+    mask. *)
+
+(** [create ~classifications ~categories] with classifications bottom-up.
+    @raise Invalid_argument on empty/duplicate classifications or more than
+    62 categories. *)
+val create : classifications:string list -> categories:string list -> t
+
+(** The Fig. 1(a) lattice: [S ⊑ TS] with categories [Army], [Nuclear]. *)
+val fig1a : t
+
+(** The full DoD-style lattice shape: [U ⊑ C ⊑ S ⊑ TS] and [n] categories
+    [K0 … K(n-1)].  @raise Invalid_argument if [n > 62]. *)
+val dod : n_categories:int -> t
+
+(** [make t ~cls ~cats] builds a level from names. *)
+val make : t -> cls:string -> cats:string list -> level option
+
+val make_exn : t -> cls:string -> cats:string list -> level
+val classification_name : t -> level -> string
+val category_names : t -> level -> string list
+val n_classifications : t -> int
+val n_categories : t -> int
+
+include Lattice_intf.S with type t := t and type level := level
+
+(** The direct minimal-level computation of footnote 4: the least level [m]
+    with [lub m others ⊒ target].  Substituting this for the lattice walk in
+    [Minlevel] removes the [H·B] factor from the complexity of complex
+    constraint handling on compartmented lattices. *)
+val residual : t -> target:level -> others:level -> level

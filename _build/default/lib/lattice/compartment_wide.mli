@@ -1,0 +1,32 @@
+(** Compartmented lattices with arbitrarily many categories.
+
+    {!Compartment} packs the category set into a single machine word,
+    which covers 62 of the 64 categories the DoD standard allows (§5 of
+    the paper).  This variant stores category sets as {!Bitset}s, so any
+    number of categories fits — at the cost of a few words per operation
+    rather than one.  Same order: [(s1, C1) ⊑ (s2, C2)] iff [s1 ≤ s2] and
+    [C1 ⊆ C2]. *)
+
+type t
+type level
+
+(** @raise Invalid_argument on empty/duplicate classification names or
+    duplicate categories. *)
+val create : classifications:string list -> categories:string list -> t
+
+(** The full DoD shape: [U ⊑ C ⊑ S ⊑ TS] and [n] categories [K0…K(n-1)],
+    any [n ≥ 0]. *)
+val dod : n_categories:int -> t
+
+val make : t -> cls:string -> cats:string list -> level option
+val make_exn : t -> cls:string -> cats:string list -> level
+val classification_name : t -> level -> string
+val category_names : t -> level -> string list
+val n_classifications : t -> int
+val n_categories : t -> int
+
+include Lattice_intf.S with type t := t and type level := level
+
+(** The footnote-4 direct minimal-level computation (least [m] with
+    [lub m others ⊒ target]). *)
+val residual : t -> target:level -> others:level -> level

@@ -1,0 +1,30 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ~name_of ~cardinal ~covers_of =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph lattice {\n  rankdir=BT;\n";
+  for i = 0 to cardinal - 1 do
+    Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" i (escape (name_of i)))
+  done;
+  for hi = 0 to cardinal - 1 do
+    List.iter
+      (fun lo -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" lo hi))
+      (covers_of hi)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_explicit lat =
+  render ~name_of:(Explicit.name lat) ~cardinal:(Explicit.cardinal lat)
+    ~covers_of:(Explicit.covers_below lat)
+
+let of_poset p =
+  render ~name_of:(Poset.name p) ~cardinal:(Poset.cardinal p)
+    ~covers_of:(Poset.covers_below p)

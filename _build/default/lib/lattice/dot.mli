@@ -1,0 +1,8 @@
+(** Graphviz export of Hasse diagrams. *)
+
+(** DOT rendering of an explicit lattice (edges point upward: from covered
+    level to covering level). *)
+val of_explicit : Explicit.t -> string
+
+(** DOT rendering of a poset. *)
+val of_poset : Poset.t -> string

@@ -1,0 +1,51 @@
+type t = {
+  chain : int array; (* chain id per level *)
+  rank : int array; (* position within the chain, bottom = 0 *)
+  reach : int array array; (* reach.(l).(c) = highest rank on chain c dominated
+                              by l, or -1 if none *)
+  n_chains : int;
+}
+
+(* Greedy path cover: walk levels bottom-up (they are topologically numbered)
+   and extend the chain of some immediate predecessor when possible. *)
+let of_explicit lat =
+  let n = Explicit.cardinal lat in
+  let chain = Array.make n (-1) and rank = Array.make n 0 in
+  let chain_top = Hashtbl.create 16 in
+  (* chain id -> current top level *)
+  let next_chain = ref 0 in
+  for l = 0 to n - 1 do
+    let extendable =
+      List.find_opt
+        (fun p -> Hashtbl.find_opt chain_top chain.(p) = Some p)
+        (Explicit.covers_below lat l)
+    in
+    match extendable with
+    | Some p ->
+        chain.(l) <- chain.(p);
+        rank.(l) <- rank.(p) + 1;
+        Hashtbl.replace chain_top chain.(p) l
+    | None ->
+        chain.(l) <- !next_chain;
+        rank.(l) <- 0;
+        Hashtbl.replace chain_top !next_chain l;
+        incr next_chain
+  done;
+  let nc = !next_chain in
+  let reach = Array.init n (fun _ -> Array.make nc (-1)) in
+  (* Bottom-up: a level dominates, per chain, the max of what its covers
+     dominate, plus itself on its own chain. *)
+  for l = 0 to n - 1 do
+    List.iter
+      (fun p ->
+        for c = 0 to nc - 1 do
+          if reach.(p).(c) > reach.(l).(c) then reach.(l).(c) <- reach.(p).(c)
+        done)
+      (Explicit.covers_below lat l);
+    if rank.(l) > reach.(l).(chain.(l)) then reach.(l).(chain.(l)) <- rank.(l)
+  done;
+  { chain; rank; reach; n_chains = nc }
+
+let n_chains t = t.n_chains
+let leq t a b = t.reach.(b).(t.chain.(a)) >= t.rank.(a)
+let chain_of t l = (t.chain.(l), t.rank.(l))

@@ -1,0 +1,25 @@
+(** Compact dominance encodings for explicit lattices (§5 of the paper).
+
+    The paper notes that the practicality of the algorithm rests on cheap
+    lattice operations, citing encoding techniques (Aït-Kaci et al.,
+    Ganguly et al., Talamo–Vocca) that make dominance tests (near)
+    constant-time after preprocessing.  This module provides a classic
+    *chain-decomposition* encoding: the lattice is greedily partitioned
+    into chains; each level stores, per chain, the highest rank it
+    dominates on that chain.  [a ⊑ b] then reduces to one integer
+    comparison on [a]'s own chain — O(1) per test after O(n·w) space,
+    where [w] is the number of chains (≥ the width of the order). *)
+
+type t
+
+(** Preprocess an explicit lattice. *)
+val of_explicit : Explicit.t -> t
+
+(** Number of chains used by the decomposition. *)
+val n_chains : t -> int
+
+(** Constant-time dominance test, equivalent to {!Explicit.leq}. *)
+val leq : t -> Explicit.level -> Explicit.level -> bool
+
+(** [chain_of t l] is [(chain, rank)] — the position of [l] in its chain. *)
+val chain_of : t -> Explicit.level -> int * int

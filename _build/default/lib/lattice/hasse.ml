@@ -1,0 +1,85 @@
+let successors n edges =
+  let succ = Array.make n [] in
+  List.iter
+    (fun (lo, hi) ->
+      if lo < 0 || lo >= n || hi < 0 || hi >= n then
+        invalid_arg "Hasse: node out of range";
+      if lo = hi then invalid_arg "Hasse: self-loop";
+      succ.(lo) <- hi :: succ.(lo))
+    edges;
+  (* Deterministic, duplicate-free adjacency. *)
+  Array.map (fun l -> List.sort_uniq compare l) succ
+
+(* Kahn's algorithm; raises on cycles.  Candidates are taken smallest-first
+   so the order is canonical. *)
+let topological_order n edges =
+  let succ = successors n edges in
+  let indeg = Array.make n 0 in
+  Array.iter (List.iter (fun hi -> indeg.(hi) <- indeg.(hi) + 1)) succ;
+  let module H = Set.Make (Int) in
+  let ready = ref H.empty in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then ready := H.add i !ready
+  done;
+  let rec go acc ready =
+    match H.min_elt_opt ready with
+    | None -> List.rev acc
+    | Some i ->
+        let ready = ref (H.remove i ready) in
+        List.iter
+          (fun j ->
+            indeg.(j) <- indeg.(j) - 1;
+            if indeg.(j) = 0 then ready := H.add j !ready)
+          succ.(i);
+        go (i :: acc) !ready
+  in
+  let order = go [] !ready in
+  if List.length order <> n then invalid_arg "Hasse: order relation is cyclic";
+  order
+
+let is_acyclic n edges =
+  match topological_order n edges with
+  | _ -> true
+  | exception Invalid_argument _ -> false
+
+let transitive_closure n edges =
+  let succ = successors n edges in
+  let order = topological_order n edges in
+  let up = Array.init n (fun _ -> Bitset.create n) in
+  (* Process nodes from the top down so successors' up-sets are complete. *)
+  List.iter
+    (fun i ->
+      Bitset.set up.(i) i;
+      List.iter (fun j -> Bitset.union_into up.(i) up.(j)) succ.(i))
+    (List.rev order);
+  up
+
+let transitive_reduction n edges =
+  let up = transitive_closure n edges in
+  let succ = successors n edges in
+  (* (lo, hi) is a cover iff no intermediate successor of lo reaches hi. *)
+  let is_cover lo hi =
+    List.for_all (fun m -> m = hi || not (Bitset.mem up.(m) hi)) succ.(lo)
+  in
+  let covers = ref [] in
+  for lo = n - 1 downto 0 do
+    List.iter
+      (fun hi -> if is_cover lo hi then covers := (lo, hi) :: !covers)
+      (List.rev succ.(lo))
+  done;
+  List.sort_uniq compare !covers
+
+let longest_path n edges =
+  let succ = successors n edges in
+  let order = topological_order n edges in
+  let dist = Array.make n 0 in
+  let best = ref 0 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          if dist.(i) + 1 > dist.(j) then dist.(j) <- dist.(i) + 1;
+          if dist.(j) > !best then best := dist.(j))
+        succ.(i))
+    order;
+  !best

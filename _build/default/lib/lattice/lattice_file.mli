@@ -1,0 +1,24 @@
+(** Text format for lattice files.
+
+    Line-based; [#] starts a comment:
+
+    {v
+    levels L1, L2, L3, L4    # declare levels (repeatable)
+    L1 < L2                  # order pairs, lo < hi (need not be covers)
+    L1 < L3
+    L2 < L4
+    L3 < L4
+    v}
+
+    [parse] validates the result as a lattice ({!Explicit.create});
+    [parse_semilattice] completes missing top/bottom with dummies first
+    (§6 of the paper). *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val parse : string -> (Explicit.t, error) result
+val parse_semilattice : string -> (Semilattice.t, error) result
+
+(** Render a lattice back to the file format (covers only). *)
+val to_string : Explicit.t -> string

@@ -1,0 +1,98 @@
+(** The lattice abstraction the classification algorithm is generic over.
+
+    The paper assumes security levels are drawn from a (complete, finite)
+    lattice [(L, ⊑)].  Every concrete lattice in this library — explicit
+    Hasse-diagram lattices, total orders, powersets, compartmented MLS
+    lattices, products — implements {!S}.  A lattice is a *value* of type
+    [t]; levels are values of type [level].  All operations take the lattice
+    value first, which lets a single module serve arbitrarily many lattice
+    instances (e.g. powersets of different arities).
+
+    Conventions:
+    - [leq lat a b] reads "[a] is dominated by [b]" ([a ⊑ b]); the paper
+      writes the converse [b ≽ a] ("b dominates a").
+    - [covers_below lat l] is the set of *immediate predecessors* of [l]:
+      all [m ≺ l] with no [x], [m ≺ x ≺ l].  The forward-lowering procedure
+      of the algorithm walks the lattice downward one cover at a time, so
+      this operation must be cheap and must enumerate in a deterministic
+      order (runs are reproducible). *)
+
+module type S = sig
+  (** A lattice instance. *)
+  type t
+
+  (** A security level of the lattice. *)
+  type level
+
+  (** Structural equality of levels. *)
+  val equal : t -> level -> level -> bool
+
+  (** Arbitrary total order on levels, for use in maps and sets. *)
+  val compare_level : t -> level -> level -> int
+
+  (** [leq lat a b] iff [a ⊑ b] (i.e. [b] dominates [a]). *)
+  val leq : t -> level -> level -> bool
+
+  (** Least upper bound. *)
+  val lub : t -> level -> level -> level
+
+  (** Greatest lower bound. *)
+  val glb : t -> level -> level -> level
+
+  val top : t -> level
+  val bottom : t -> level
+
+  (** Immediate predecessors of a level, in a deterministic order.
+      [covers_below lat (bottom lat) = []]. *)
+  val covers_below : t -> level -> level list
+
+  (** Length (number of edges) of the longest chain in the lattice. *)
+  val height : t -> int
+
+  (** All levels, lazily.  May be astronomically large (e.g. compartmented
+      lattices); callers that enumerate must bound consumption themselves. *)
+  val levels : t -> level Seq.t
+
+  (** Number of levels, if it fits in an [int]. *)
+  val size : t -> int option
+
+  val pp_level : t -> Format.formatter -> level -> unit
+  val level_to_string : t -> level -> string
+
+  (** Parse a level from its [level_to_string] rendering (used by the
+      constraint-file front end). *)
+  val level_of_string : t -> string -> level option
+end
+
+(** Operations derivable from {!S}, provided once for all lattices. *)
+module Derived (L : S) = struct
+  (** [lub_list lat ls] folds {!S.lub} over [ls] starting from [⊥]. *)
+  let lub_list lat ls = List.fold_left (L.lub lat) (L.bottom lat) ls
+
+  (** [glb_list lat ls] folds {!S.glb} over [ls] starting from [⊤]. *)
+  let glb_list lat ls = List.fold_left (L.glb lat) (L.top lat) ls
+
+  (** [lt lat a b] iff [a ⊏ b] strictly. *)
+  let lt lat a b = L.leq lat a b && not (L.equal lat a b)
+
+  (** Levels strictly dominated by [l] (the strict down-set), computed by
+      repeated cover expansion.  Deterministic order, each level once. *)
+  let strict_downset lat l =
+    let module M = Map.Make (struct
+      type t = L.level
+
+      let compare = L.compare_level lat
+    end) in
+    let rec go seen frontier =
+      match frontier with
+      | [] -> seen
+      | x :: rest ->
+          if M.mem x seen then go seen rest
+          else go (M.add x () seen) (L.covers_below lat x @ rest)
+    in
+    let seen = go M.empty (L.covers_below lat l) in
+    List.map fst (M.bindings seen)
+
+  (** All levels below-or-equal [l]. *)
+  let downset lat l = l :: strict_downset lat l
+end

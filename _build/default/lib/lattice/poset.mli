@@ -1,0 +1,60 @@
+(** Arbitrary finite partial orders (not necessarily lattices).
+
+    §6 of the paper shows that over arbitrary posets the minimal
+    classification problem ({e min-poset}) is NP-complete; this module is
+    the substrate for that result: the Fig. 4 reduction poset, the
+    4-element "butterfly" poset, and the backtracking solver in
+    {!Minup_poset.Minposet} all live on top of it.
+
+    Unlike {!Explicit}, creation only validates that the order pairs are
+    acyclic; lubs/glbs need not exist. *)
+
+type t
+type elt = int
+
+type error = Empty | Duplicate_name of string | Unknown_name of string | Cyclic_order
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [create ~names ~order] with order pairs [(lo, hi)] read [lo ⊑ hi]. *)
+val create : names:string list -> order:(string * string) list -> (t, error) result
+
+val create_exn : names:string list -> order:(string * string) list -> t
+
+(** The 4-element poset of Fig. 4(b): two maximal elements [a], [b], each
+    dominating both minimal elements [c], [d]. *)
+val butterfly : t
+
+val cardinal : t -> int
+val all : t -> elt list
+val of_name : t -> string -> elt option
+val of_name_exn : t -> string -> elt
+val name : t -> elt -> string
+val leq : t -> elt -> elt -> bool
+val equal : t -> elt -> elt -> bool
+
+(** Immediate predecessors, ascending. *)
+val covers_below : t -> elt -> elt list
+
+val covers_above : t -> elt -> elt list
+
+(** Elements with nothing strictly above/below. *)
+val maximal_elements : t -> elt list
+
+val minimal_elements : t -> elt list
+
+(** Common upper bounds of a list of elements (all of them). *)
+val upper_bounds : t -> elt list -> elt list
+
+(** Least upper bound if it exists. *)
+val lub_opt : t -> elt -> elt -> elt option
+
+(** Strict down-set of an element. *)
+val strict_below : t -> elt -> elt list
+
+val height : t -> int
+val pp_elt : t -> Format.formatter -> elt -> unit
+
+(** Whether every pair with an upper bound has a least one (a "partial
+    lattice" in the paper's §6 sense). *)
+val is_partial_lattice : t -> bool

@@ -1,0 +1,32 @@
+(** Powerset lattices: levels are subsets of a fixed universe of at most 62
+    named elements, ordered by inclusion.  [lub] is union, [glb] is
+    intersection.  The category half of a compartmented MLS access class is
+    exactly such a lattice. *)
+
+type t
+
+(** A subset, encoded as a bit mask over the universe. *)
+type level = int
+
+(** [create elements] with distinct element names; at most 62.
+    @raise Invalid_argument otherwise. *)
+val create : string list -> t
+
+(** Number of elements of the universe (so the lattice has [2^arity]
+    levels). *)
+val arity : t -> int
+
+(** [of_elements t names] is the subset holding exactly [names]. *)
+val of_elements : t -> string list -> level option
+
+val of_elements_exn : t -> string list -> level
+val elements : t -> level -> string list
+
+(** [singleton t name]. *)
+val singleton : t -> string -> level option
+
+include Lattice_intf.S with type t := t and type level := level
+
+(** [residual t ~target ~others] is the least subset [m] with
+    [m ∪ others ⊇ target], i.e. [target \ others] (footnote 4). *)
+val residual : t -> target:level -> others:level -> level

@@ -1,0 +1,68 @@
+(** Product lattices.  [Make (A) (B)] is the component-wise order on
+    [A.level * B.level]; it is a lattice whenever both components are, which
+    makes it a convenient source of large guaranteed-correct lattices for
+    tests and benchmarks (e.g. products of chains). *)
+
+module Make (A : Lattice_intf.S) (B : Lattice_intf.S) :
+  Lattice_intf.S with type t = A.t * B.t and type level = A.level * B.level =
+struct
+  type t = A.t * B.t
+  type level = A.level * B.level
+
+  let equal (la, lb) (a1, b1) (a2, b2) = A.equal la a1 a2 && B.equal lb b1 b2
+
+  let compare_level (la, lb) (a1, b1) (a2, b2) =
+    match A.compare_level la a1 a2 with
+    | 0 -> B.compare_level lb b1 b2
+    | c -> c
+
+  let leq (la, lb) (a1, b1) (a2, b2) = A.leq la a1 a2 && B.leq lb b1 b2
+  let lub (la, lb) (a1, b1) (a2, b2) = (A.lub la a1 a2, B.lub lb b1 b2)
+  let glb (la, lb) (a1, b1) (a2, b2) = (A.glb la a1 a2, B.glb lb b1 b2)
+  let top (la, lb) = (A.top la, B.top lb)
+  let bottom (la, lb) = (A.bottom la, B.bottom lb)
+
+  let covers_below (la, lb) (a, b) =
+    List.map (fun a' -> (a', b)) (A.covers_below la a)
+    @ List.map (fun b' -> (a, b')) (B.covers_below lb b)
+
+  let height (la, lb) = A.height la + B.height lb
+
+  let levels (la, lb) =
+    Seq.concat_map (fun a -> Seq.map (fun b -> (a, b)) (B.levels lb)) (A.levels la)
+
+  let size (la, lb) =
+    match (A.size la, B.size lb) with
+    | Some a, Some b when b = 0 || a <= max_int / b -> Some (a * b)
+    | _ -> None
+
+  let level_to_string (la, lb) (a, b) =
+    Printf.sprintf "(%s,%s)" (A.level_to_string la a) (B.level_to_string lb b)
+
+  let pp_level t ppf l = Format.pp_print_string ppf (level_to_string t l)
+
+  let level_of_string (la, lb) s =
+    let s = String.trim s in
+    let n = String.length s in
+    if n < 2 || s.[0] <> '(' || s.[n - 1] <> ')' then None
+    else
+      let body = String.sub s 1 (n - 2) in
+      (* Split at the comma that balances parentheses/braces. *)
+      let rec find i depth =
+        if i >= String.length body then None
+        else
+          match body.[i] with
+          | '(' | '{' -> find (i + 1) (depth + 1)
+          | ')' | '}' -> find (i + 1) (depth - 1)
+          | ',' when depth = 0 -> Some i
+          | _ -> find (i + 1) depth
+      in
+      match find 0 0 with
+      | None -> None
+      | Some i -> (
+          let sa = String.sub body 0 i in
+          let sb = String.sub body (i + 1) (String.length body - i - 1) in
+          match (A.level_of_string la sa, B.level_of_string lb sb) with
+          | Some a, Some b -> Some (a, b)
+          | _ -> None)
+end

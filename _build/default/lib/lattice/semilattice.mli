@@ -1,0 +1,35 @@
+(** Semi-lattice completion (§6 of the paper).
+
+    In practice the order of security levels may lack a top (no subject may
+    see everything) or a bottom (nothing is truly public).  The paper's
+    recipe: add a dummy [⊤] and/or [⊥], run the algorithm unchanged, and
+    interpret residual dummies in the result — an attribute left at the
+    dummy top means the constraints are unsatisfiable within the real
+    levels; one left at the dummy bottom was never effectively constrained.
+
+    This module performs the completion and remembers which dummies were
+    added so {!Minup_core.Solver} wrappers can interpret results. *)
+
+type t = {
+  lattice : Explicit.t;  (** the completed lattice *)
+  dummy_top : Explicit.level option;
+      (** the added top, when the input had no unique maximal element *)
+  dummy_bottom : Explicit.level option;
+}
+
+(** Reserved names of the dummy elements. *)
+val dummy_top_name : string
+
+val dummy_bottom_name : string
+
+(** [complete ~names ~order] adds dummies as needed and builds the explicit
+    lattice.  Fails like {!Explicit.create} if even the completed order is
+    not a lattice (the paper requires at least a partial lattice: any two
+    levels with an upper bound must have a least one). *)
+val complete :
+  names:string list -> order:(string * string) list -> (t, Explicit.error) result
+
+val complete_exn : names:string list -> order:(string * string) list -> t
+
+(** [is_dummy t l] — true iff [l] is one of the added dummies. *)
+val is_dummy : t -> Explicit.level -> bool

@@ -1,0 +1,47 @@
+open Explicit
+
+let atoms t =
+  List.filter (fun l -> covers_below t l = [ bottom t ]) (all t)
+
+let coatoms t =
+  List.filter
+    (fun l -> List.mem l (covers_below t (top t)))
+    (all t)
+
+let join_irreducibles t =
+  List.filter (fun l -> List.length (covers_below t l) = 1) (all t)
+
+let meet_irreducibles t =
+  let above = Array.make (cardinal t) 0 in
+  List.iter
+    (fun l -> List.iter (fun c -> above.(c) <- above.(c) + 1) (covers_below t l))
+    (all t);
+  List.filter (fun l -> above.(l) = 1) (all t)
+
+let for_all_triples t f =
+  let ls = all t in
+  List.for_all (fun a -> List.for_all (fun b -> List.for_all (f a b) ls) ls) ls
+
+let is_distributive t =
+  for_all_triples t (fun a b c ->
+      lub t a (glb t b c) = glb t (lub t a b) (lub t a c))
+
+let is_modular t =
+  for_all_triples t (fun a b x ->
+      (not (leq t a b)) || lub t a (glb t x b) = glb t (lub t a x) b)
+
+let is_boolean t =
+  is_distributive t
+  && List.for_all
+       (fun x ->
+         List.exists
+           (fun y -> lub t x y = top t && glb t x y = bottom t)
+           (all t))
+       (all t)
+
+let dual t =
+  let names = List.map (name t) (all t) in
+  let order =
+    List.map (fun (lo, hi) -> (name t hi, name t lo)) (cover_pairs t)
+  in
+  create_exn ~names ~order

@@ -1,0 +1,37 @@
+(** Lattice-theoretic queries over explicit lattices.
+
+    Useful when auditing a security lattice before deployment: atoms and
+    irreducibles identify the "primitive" levels, distributivity/modularity
+    determine which stronger encodings apply (every finite distributive
+    lattice embeds in a powerset, which is when the set-difference
+    [residual] shortcut of footnote 4 is exact), and the dual construction
+    flips read-down into write-up analyses. *)
+
+open Explicit
+
+(** Covers of ⊥. *)
+val atoms : t -> level list
+
+(** Levels covered by ⊤. *)
+val coatoms : t -> level list
+
+(** Levels with exactly one cover below (not expressible as a join of
+    strictly lower levels). *)
+val join_irreducibles : t -> level list
+
+(** Levels with exactly one cover above. *)
+val meet_irreducibles : t -> level list
+
+(** [a ⊔ (b ⊓ c) = (a ⊔ b) ⊓ (a ⊔ c)] for all triples. *)
+val is_distributive : t -> bool
+
+(** [a ⊑ b ⟹ a ⊔ (x ⊓ b) = (a ⊔ x) ⊓ b] for all triples. *)
+val is_modular : t -> bool
+
+(** [is_boolean t] — distributive and every level has a complement
+    ([x ⊔ y = ⊤] and [x ⊓ y = ⊥]). *)
+val is_boolean : t -> bool
+
+(** The order-dual lattice (same level names, reversed order).  Level ids
+    are {e not} preserved; translate by name. *)
+val dual : t -> t

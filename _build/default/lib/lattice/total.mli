@@ -1,0 +1,27 @@
+(** Totally ordered lattices (classification ladders such as
+    [Unclassified ⊑ Confidential ⊑ Secret ⊑ TopSecret]).
+
+    Levels are ranks [0 .. n-1]; an optional name per rank is kept for
+    display and parsing. *)
+
+type t
+type level = int
+
+(** [create names] with [names] listed bottom-up.
+    @raise Invalid_argument on an empty or duplicate-carrying list. *)
+val create : string list -> t
+
+(** [anonymous n] is the chain [0 ⊑ 1 ⊑ … ⊑ n-1] with numeric names. *)
+val anonymous : int -> t
+
+val cardinal : t -> int
+val of_name : t -> string -> level option
+val of_name_exn : t -> string -> level
+val name : t -> level -> string
+
+include Lattice_intf.S with type t := t and type level := level
+
+(** [residual t ~target ~others] is the least level [m] with
+    [lub m others ⊒ target] — the direct "minlevel" computation available on
+    total orders (cf. footnote 4 of the paper). *)
+val residual : t -> target:level -> others:level -> level

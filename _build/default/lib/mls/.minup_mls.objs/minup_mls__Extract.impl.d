@@ -1,0 +1,1 @@
+lib/mls/extract.ml: Cst Fd List Minup_constraints Schema

@@ -1,0 +1,1 @@
+lib/mls/extract.mli: Fd Minup_constraints Schema

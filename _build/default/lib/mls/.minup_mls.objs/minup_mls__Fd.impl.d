@@ -1,0 +1,1 @@
+lib/mls/fd.ml: Array Format Fun List Set String

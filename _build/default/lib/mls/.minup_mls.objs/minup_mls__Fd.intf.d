@@ -1,0 +1,1 @@
+lib/mls/fd.mli: Format

@@ -1,0 +1,1 @@
+lib/mls/instance.ml: Array Format List Schema String

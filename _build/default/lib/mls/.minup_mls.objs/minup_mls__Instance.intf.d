@@ -1,0 +1,1 @@
+lib/mls/instance.mli: Format

@@ -1,0 +1,1 @@
+lib/mls/schema.ml: Format Hashtbl List

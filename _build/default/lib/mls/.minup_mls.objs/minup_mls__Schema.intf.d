@@ -1,0 +1,1 @@
+lib/mls/schema.mli: Format

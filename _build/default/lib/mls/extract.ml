@@ -1,0 +1,63 @@
+open Minup_constraints
+
+let integrity_constraints (schema : Schema.t) =
+  let per_relation (r : Schema.relation) =
+    let q = Schema.qualify r.rel_name in
+    let key = List.map q r.key in
+    (* Uniform key classification: a cycle of simple constraints. *)
+    let uniformity =
+      match key with
+      | [] | [ _ ] -> []
+      | k0 :: _ ->
+          let rec cycle = function
+            | a :: (b :: _ as rest) -> Cst.simple a (Cst.Attr b) :: cycle rest
+            | [ last ] -> [ Cst.simple last (Cst.Attr k0) ]
+            | [] -> []
+          in
+          cycle key
+    in
+    (* Non-key attributes dominate the key. *)
+    let dominance =
+      let k0 = List.hd key in
+      r.columns
+      |> List.filter (fun c -> not (List.mem c r.key))
+      |> List.map (fun c -> Cst.simple (q c) (Cst.Attr k0))
+    in
+    uniformity @ dominance
+  in
+  let fk_constraints (fk : Schema.foreign_key) =
+    match Schema.find_relation schema fk.to_rel with
+    | None -> []
+    | Some target ->
+        List.map2
+          (fun from_col key_col ->
+            Cst.simple
+              (Schema.qualify fk.from_rel from_col)
+              (Cst.Attr (Schema.qualify fk.to_rel key_col)))
+          fk.from_cols target.key
+  in
+  List.concat_map per_relation schema.relations
+  @ List.concat_map fk_constraints schema.foreign_keys
+
+let fd_constraints (schema : Schema.t) fds =
+  List.concat_map
+    (fun (rel, (fd : Fd.t)) ->
+      let q = Schema.qualify rel in
+      ignore (Schema.find_relation schema rel);
+      fd.rhs
+      |> List.filter (fun y -> not (List.mem y fd.lhs))
+      |> List.map (fun y ->
+             Cst.make_exn ~lhs:(List.map q fd.lhs) ~rhs:(Cst.Attr (q y))))
+    fds
+
+let basic_constraints bs =
+  List.map (fun (a, l) -> Cst.simple a (Cst.Level l)) bs
+
+let association_constraints assocs =
+  List.map (fun (lhs, l) -> Cst.make_exn ~lhs ~rhs:(Cst.Level l)) assocs
+
+let all ~schema ~fds ~basic ~associations =
+  basic_constraints basic
+  @ association_constraints associations
+  @ integrity_constraints schema
+  @ fd_constraints schema fds

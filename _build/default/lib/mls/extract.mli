@@ -1,0 +1,44 @@
+(** Automatic extraction of classification constraints from a schema —
+    the front end that turns database metadata into the constraint forms of
+    Definition 2.1.
+
+    §2 of the paper identifies three sources beyond explicit requirements:
+
+    - {b integrity constraints} imposed by the security model itself:
+      uniform key classification, keys dominated by non-key attributes,
+      foreign keys dominating the keys they reference;
+    - {b inference constraints} from functional dependencies: for
+      [X → y], whoever sees [X] infers [y], so [lub{λ(X)} ⊒ λ(y)];
+    - {b association constraints}: a set of attributes whose combination is
+      more sensitive than each member ([lub{…} ⊒ l]).
+
+    All generators are polymorphic in the level type; combine their output
+    with explicit basic constraints and hand the result to the solver. *)
+
+(** Key-uniformity and key-dominance constraints for every relation, plus
+    foreign-key dominance, over qualified attribute names.  Key uniformity
+    for [k1 … km] is the constraint cycle [λ(k1) ⊒ λ(k2) ⊒ … ⊒ λ(km) ⊒
+    λ(k1)], which forces a single level. *)
+val integrity_constraints : Schema.t -> 'lvl Minup_constraints.Cst.t list
+
+(** [fd_constraints schema per_relation_fds] — inference constraints from
+    per-relation FDs (column names unqualified; qualification is applied).
+    Trivial dependents ([y ∈ X]) are skipped. *)
+val fd_constraints :
+  Schema.t -> (string * Fd.t) list -> 'lvl Minup_constraints.Cst.t list
+
+(** [basic_constraints bs] — explicit [λ(A) ⊒ l] requirements. *)
+val basic_constraints : (string * 'lvl) list -> 'lvl Minup_constraints.Cst.t list
+
+(** [association_constraints assocs] — explicit [lub{…} ⊒ l] requirements. *)
+val association_constraints :
+  (string list * 'lvl) list -> 'lvl Minup_constraints.Cst.t list
+
+(** Everything combined, in a deterministic order (basic, association,
+    integrity, FD). *)
+val all :
+  schema:Schema.t ->
+  fds:(string * Fd.t) list ->
+  basic:(string * 'lvl) list ->
+  associations:(string list * 'lvl) list ->
+  'lvl Minup_constraints.Cst.t list

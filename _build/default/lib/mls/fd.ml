@@ -1,0 +1,95 @@
+type t = { lhs : string list; rhs : string list }
+
+let make ~lhs ~rhs =
+  if lhs = [] || rhs = [] then invalid_arg "Fd.make: empty side";
+  { lhs = List.sort_uniq compare lhs; rhs = List.sort_uniq compare rhs }
+
+let pp ppf fd =
+  Format.fprintf ppf "%s -> %s"
+    (String.concat "," fd.lhs)
+    (String.concat "," fd.rhs)
+
+module SS = Set.Make (String)
+
+let closure fds xs =
+  let fds = List.map (fun fd -> (SS.of_list fd.lhs, SS.of_list fd.rhs)) fds in
+  let rec fix acc =
+    let acc' =
+      List.fold_left
+        (fun acc (lhs, rhs) -> if SS.subset lhs acc then SS.union acc rhs else acc)
+        acc fds
+    in
+    if SS.equal acc acc' then acc else fix acc'
+  in
+  SS.elements (fix (SS.of_list xs))
+
+let implies fds fd = SS.subset (SS.of_list fd.rhs) (SS.of_list (closure fds fd.lhs))
+
+let is_key ~attrs fds xs =
+  SS.subset (SS.of_list attrs) (SS.of_list (closure fds xs))
+
+let candidate_keys ~attrs fds =
+  let attrs = List.sort_uniq compare attrs in
+  let n = List.length attrs in
+  if n > 16 then invalid_arg "Fd.candidate_keys: more than 16 attributes";
+  let arr = Array.of_list attrs in
+  let subset_of_mask m =
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      if m land (1 lsl i) <> 0 then out := arr.(i) :: !out
+    done;
+    !out
+  in
+  let popcount m =
+    let rec go acc m = if m = 0 then acc else go (acc + 1) (m land (m - 1)) in
+    go 0 m
+  in
+  let masks = List.init (1 lsl n) Fun.id in
+  let by_size = List.stable_sort (fun a b -> compare (popcount a) (popcount b)) masks in
+  let keys = ref [] in
+  List.iter
+    (fun m ->
+      let sub x y = x land lnot y = 0 in
+      if
+        (not (List.exists (fun k -> sub k m) !keys))
+        && is_key ~attrs fds (subset_of_mask m)
+      then keys := m :: !keys)
+    by_size;
+  List.rev_map subset_of_mask !keys |> List.rev
+
+let minimal_cover fds =
+  (* 1. Singleton right-hand sides. *)
+  let singles =
+    List.concat_map
+      (fun fd -> List.map (fun r -> { lhs = fd.lhs; rhs = [ r ] }) fd.rhs)
+      fds
+  in
+  (* Drop trivial X -> a with a ∈ X. *)
+  let singles =
+    List.filter (fun fd -> not (List.mem (List.hd fd.rhs) fd.lhs)) singles
+  in
+  (* 2. Remove extraneous lhs attributes. *)
+  let reduce_lhs all fd =
+    let rec go lhs =
+      match
+        List.find_opt
+          (fun a ->
+            let lhs' = List.filter (fun x -> x <> a) lhs in
+            lhs' <> [] && implies all { fd with lhs = lhs' })
+          lhs
+      with
+      | Some a -> go (List.filter (fun x -> x <> a) lhs)
+      | None -> lhs
+    in
+    { fd with lhs = go fd.lhs }
+  in
+  let reduced = List.map (reduce_lhs singles) singles in
+  let reduced = List.sort_uniq compare reduced in
+  (* 3. Remove redundant dependencies. *)
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | fd :: rest ->
+        let others = List.rev_append kept rest in
+        if implies others fd then prune kept rest else prune (fd :: kept) rest
+  in
+  prune [] reduced

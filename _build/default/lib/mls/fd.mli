@@ -1,0 +1,36 @@
+(** Functional dependencies.
+
+    FDs are the paper's canonical source of inference channels (§2: the
+    example [lub{λ(rank), λ(department)} ⊒ λ(salary)] models the FD
+    [rank, department → salary] — whoever sees the determinant can infer
+    the dependent, so the combined classification of the determinant must
+    dominate the dependent's).  {!Extract} turns a relation's FD set into
+    such inference constraints; this module provides the standard FD
+    machinery (Armstrong closure, implication, candidate keys, minimal
+    cover) over plain string attributes. *)
+
+type t = private { lhs : string list; rhs : string list }
+
+(** [make ~lhs ~rhs] — sides are deduplicated and sorted.
+    @raise Invalid_argument if either side is empty. *)
+val make : lhs:string list -> rhs:string list -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** [closure fds xs] — the attribute-set closure [xs⁺] under [fds]. *)
+val closure : t list -> string list -> string list
+
+(** [implies fds fd] — does [fds ⊨ fd]? *)
+val implies : t list -> t -> bool
+
+(** [is_key ~attrs fds xs] — does [xs] determine all of [attrs]? *)
+val is_key : attrs:string list -> t list -> string list -> bool
+
+(** All candidate keys (minimal determining sets), smallest-first.
+    Exponential in [|attrs|]; @raise Invalid_argument beyond 16
+    attributes. *)
+val candidate_keys : attrs:string list -> t list -> string list list
+
+(** A minimal cover: singleton right-hand sides, no extraneous left-hand
+    side attributes, no redundant dependencies. *)
+val minimal_cover : t list -> t list

@@ -1,0 +1,119 @@
+type table = {
+  relation : string;
+  columns : string array;
+  rows : string array list;
+}
+
+type view = {
+  relation : string;
+  columns : string array;
+  visible : bool array;
+  rows : string option array list;
+}
+
+type error = Arity_mismatch of { row : int; expected : int; got : int }
+
+let pp_error ppf (Arity_mismatch { row; expected; got }) =
+  Format.fprintf ppf "row %d has %d cells, expected %d" row got expected
+
+let make ~relation ~columns rows =
+  let columns = Array.of_list columns in
+  let expected = Array.length columns in
+  let rec check i = function
+    | [] -> Ok ()
+    | r :: rest ->
+        let got = List.length r in
+        if got <> expected then Error (Arity_mismatch { row = i; expected; got })
+        else check (i + 1) rest
+  in
+  match check 0 rows with
+  | Error _ as e -> e
+  | Ok () -> Ok { relation; columns; rows = List.map Array.of_list rows }
+
+let make_exn ~relation ~columns rows =
+  match make ~relation ~columns rows with
+  | Ok t -> t
+  | Error e -> invalid_arg (Format.asprintf "Instance.make: %a" pp_error e)
+
+let view_at ~readable (t : table) =
+  let visible =
+    Array.map (fun c -> readable (Schema.qualify t.relation c)) t.columns
+  in
+  {
+    relation = t.relation;
+    columns = t.columns;
+    visible;
+    rows =
+      List.map
+        (fun row ->
+          Array.mapi (fun i cell -> if visible.(i) then Some cell else None) row)
+        t.rows;
+  }
+
+let render (v : view) =
+  let cell = function Some s -> s | None -> "***" in
+  let widths =
+    Array.mapi
+      (fun i c ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (cell row.(i))))
+          (String.length c) v.rows)
+      v.columns
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line parts = "| " ^ String.concat " | " parts ^ " |" in
+  let header =
+    line (Array.to_list (Array.mapi (fun i c -> pad c widths.(i)) v.columns))
+  in
+  let sep =
+    "|" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "|"
+  in
+  let body =
+    List.map
+      (fun row ->
+        line (Array.to_list (Array.mapi (fun i c -> pad (cell c) widths.(i)) row)))
+      v.rows
+  in
+  String.concat "\n" ((v.relation ^ ":") :: header :: sep :: body)
+
+type 'lvl classified_table = {
+  crelation : string;
+  ccolumns : string array;
+  crows : ('lvl * string array) list;
+}
+
+let make_classified ~relation ~columns rows =
+  match make ~relation ~columns (List.map snd rows) with
+  | Error _ as e -> e
+  | Ok t ->
+      Ok
+        {
+          crelation = t.relation;
+          ccolumns = t.columns;
+          crows = List.map2 (fun (l, _) cells -> (l, cells)) rows t.rows;
+        }
+
+let make_classified_exn ~relation ~columns rows =
+  match make_classified ~relation ~columns rows with
+  | Ok t -> t
+  | Error e -> invalid_arg (Format.asprintf "Instance.make_classified: %a" pp_error e)
+
+let view_classified ~row_visible ~readable (t : _ classified_table) =
+  let visible =
+    Array.map (fun c -> readable (Schema.qualify t.crelation c)) t.ccolumns
+  in
+  {
+    relation = t.crelation;
+    columns = t.ccolumns;
+    visible;
+    rows =
+      List.filter_map
+        (fun (l, row) ->
+          if row_visible l then
+            Some
+              (Array.mapi
+                 (fun i cell -> if visible.(i) then Some cell else None)
+                 row)
+          else None)
+        t.crows;
+  }

@@ -1,0 +1,72 @@
+(** Classified relation instances and level-filtered views.
+
+    Once the solver has assigned a level to every attribute, mandatory
+    read-down control means a subject cleared at level [s] sees exactly the
+    columns whose classification is dominated by [s].  [view_at] performs
+    that masking; it is how the examples demonstrate the end-to-end effect
+    of a classification (which data each clearance actually sees). *)
+
+type table = {
+  relation : string;
+  columns : string array;
+  rows : string array list;
+}
+
+type view = {
+  relation : string;
+  columns : string array;
+  visible : bool array;  (** per column: readable at the subject's level *)
+  rows : string option array list;  (** [None] = masked cell *)
+}
+
+type error = Arity_mismatch of { row : int; expected : int; got : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [make ~relation ~columns rows]. *)
+val make :
+  relation:string -> columns:string list -> string list list -> (table, error) result
+
+val make_exn :
+  relation:string -> columns:string list -> string list list -> table
+
+(** [view_at ~readable table] where [readable qualified_column] decides
+    visibility (typically [fun a -> L.leq lat (λ a) subject_level]). *)
+val view_at : readable:(string -> bool) -> table -> view
+
+(** Render a view as an aligned text table; masked cells print as [***]. *)
+val render : view -> string
+
+(** {2 Row-classified instances}
+
+    Beyond per-attribute classification, multilevel relations classify
+    individual tuples (the row's access class is typically the lub of its
+    cells' classes).  A subject sees a row iff cleared for its class, and
+    within visible rows, the per-column masking above still applies. *)
+
+type 'lvl classified_table = {
+  crelation : string;
+  ccolumns : string array;
+  crows : ('lvl * string array) list;  (** (row class, cells) *)
+}
+
+val make_classified :
+  relation:string ->
+  columns:string list ->
+  ('lvl * string list) list ->
+  ('lvl classified_table, error) result
+
+val make_classified_exn :
+  relation:string ->
+  columns:string list ->
+  ('lvl * string list) list ->
+  'lvl classified_table
+
+(** [view_classified ~row_visible ~readable t] — rows failing
+    [row_visible] are dropped entirely; surviving rows are column-masked
+    with [readable] as in {!view_at}. *)
+val view_classified :
+  row_visible:('lvl -> bool) ->
+  readable:(string -> bool) ->
+  'lvl classified_table ->
+  view

@@ -1,0 +1,80 @@
+type relation = { rel_name : string; columns : string list; key : string list }
+type foreign_key = { from_rel : string; from_cols : string list; to_rel : string }
+type t = { relations : relation list; foreign_keys : foreign_key list }
+
+type error =
+  | Duplicate_relation of string
+  | Duplicate_column of string * string
+  | Empty_key of string
+  | Key_not_column of string * string
+  | Unknown_relation of string
+  | Unknown_column of string * string
+  | Fk_arity_mismatch of string * string
+
+let pp_error ppf = function
+  | Duplicate_relation r -> Format.fprintf ppf "duplicate relation %S" r
+  | Duplicate_column (r, c) -> Format.fprintf ppf "duplicate column %S in %S" c r
+  | Empty_key r -> Format.fprintf ppf "relation %S has an empty key" r
+  | Key_not_column (r, c) ->
+      Format.fprintf ppf "key attribute %S of %S is not a column" c r
+  | Unknown_relation r -> Format.fprintf ppf "unknown relation %S" r
+  | Unknown_column (r, c) -> Format.fprintf ppf "unknown column %S in %S" c r
+  | Fk_arity_mismatch (r, r') ->
+      Format.fprintf ppf
+        "foreign key from %S does not match the key arity of %S" r r'
+
+exception Err of error
+
+let create relations foreign_keys =
+  try
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        if Hashtbl.mem seen r.rel_name then raise (Err (Duplicate_relation r.rel_name));
+        Hashtbl.add seen r.rel_name r;
+        let cols = Hashtbl.create 8 in
+        List.iter
+          (fun c ->
+            if Hashtbl.mem cols c then raise (Err (Duplicate_column (r.rel_name, c)));
+            Hashtbl.add cols c ())
+          r.columns;
+        if r.key = [] then raise (Err (Empty_key r.rel_name));
+        List.iter
+          (fun k ->
+            if not (Hashtbl.mem cols k) then
+              raise (Err (Key_not_column (r.rel_name, k))))
+          r.key)
+      relations;
+    List.iter
+      (fun fk ->
+        let find r =
+          match Hashtbl.find_opt seen r with
+          | Some rel -> rel
+          | None -> raise (Err (Unknown_relation r))
+        in
+        let src = find fk.from_rel and dst = find fk.to_rel in
+        List.iter
+          (fun c ->
+            if not (List.mem c src.columns) then
+              raise (Err (Unknown_column (fk.from_rel, c))))
+          fk.from_cols;
+        if List.length fk.from_cols <> List.length dst.key then
+          raise (Err (Fk_arity_mismatch (fk.from_rel, fk.to_rel))))
+      foreign_keys;
+    Ok { relations; foreign_keys }
+  with Err e -> Error e
+
+let create_exn relations foreign_keys =
+  match create relations foreign_keys with
+  | Ok s -> s
+  | Error e -> invalid_arg (Format.asprintf "Schema.create: %a" pp_error e)
+
+let qualify rel col = rel ^ "." ^ col
+
+let attrs t =
+  List.concat_map
+    (fun r -> List.map (qualify r.rel_name) r.columns)
+    t.relations
+
+let find_relation t name =
+  List.find_opt (fun r -> r.rel_name = name) t.relations

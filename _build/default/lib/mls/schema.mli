@@ -1,0 +1,46 @@
+(** Relational schemas for the multilevel security model (§2).
+
+    Attributes to be classified are the columns of the relations, globally
+    named by qualification ([relation.column]).  The schema's primary keys
+    and foreign keys give rise to the paper's integrity classification
+    constraints (see {!Extract}):
+
+    - key attributes must be uniformly classified, and their (common) level
+      must be dominated by every non-key attribute of the relation;
+    - a foreign key's classification must dominate that of the key it
+      references. *)
+
+type relation = {
+  rel_name : string;
+  columns : string list;
+  key : string list;  (** non-empty subset of [columns] *)
+}
+
+type foreign_key = {
+  from_rel : string;
+  from_cols : string list;
+  to_rel : string;  (** referenced relation; [from_cols] map onto its key *)
+}
+
+type t = private { relations : relation list; foreign_keys : foreign_key list }
+
+type error =
+  | Duplicate_relation of string
+  | Duplicate_column of string * string
+  | Empty_key of string
+  | Key_not_column of string * string
+  | Unknown_relation of string
+  | Unknown_column of string * string
+  | Fk_arity_mismatch of string * string
+
+val pp_error : Format.formatter -> error -> unit
+val create : relation list -> foreign_key list -> (t, error) result
+val create_exn : relation list -> foreign_key list -> t
+
+(** [qualify rel col] is ["rel.col"]. *)
+val qualify : string -> string -> string
+
+(** All qualified column names, schema order. *)
+val attrs : t -> string list
+
+val find_relation : t -> string -> relation option

@@ -1,0 +1,1 @@
+lib/poset_solver/minposet.ml: Array Format Fun Hashtbl List Minup_lattice Poset Printf

@@ -1,0 +1,1 @@
+lib/poset_solver/minposet.mli: Format Minup_lattice Poset

@@ -1,0 +1,1 @@
+lib/poset_solver/reduction.ml: Array Format List Minposet Minup_lattice Poset Printf Sat String

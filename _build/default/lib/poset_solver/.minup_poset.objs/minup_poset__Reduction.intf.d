@@ -1,0 +1,1 @@
+lib/poset_solver/reduction.mli: Minposet Minup_lattice Poset Sat

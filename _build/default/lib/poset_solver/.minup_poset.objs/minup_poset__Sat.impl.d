@@ -1,0 +1,1 @@
+lib/poset_solver/sat.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/poset_solver/sat.mli: Format

@@ -1,0 +1,62 @@
+(** The {e min-poset} problem (§6, Thm. 6.1).
+
+    Like min-lattice-assignment, but the security levels form an arbitrary
+    finite poset.  Determining a (minimal) satisfying assignment is
+    NP-complete; this module provides the backtracking solver used on the
+    reduction instances, plus exhaustive enumeration for small cases.
+
+    Constraint forms follow §6 and the reduction in the appendix:
+    [A ⊒ l], [A ⊑ l] (upper bound, used by the reduction's [C_i ≥ wc_i]),
+    [A ⊒ A'], and [lub{A1,…,Ak} ⊒ A].  Because least upper bounds need not
+    exist in a poset, the last form is interpreted as: the common upper
+    bounds of [λ(A1) … λ(Ak)] are nonempty and all of them dominate
+    [λ(A)] — which coincides with [lub ⊒ λ(A)] whenever the lub exists. *)
+
+open Minup_lattice
+
+type cst =
+  | Geq_elt of string * Poset.elt  (** [A ⊒ l] *)
+  | Leq_elt of string * Poset.elt  (** [A ⊑ l] *)
+  | Geq_attr of string * string  (** [A ⊒ A'] *)
+  | Lub_geq of string list * string  (** [lub{A1,…,Ak} ⊒ A] *)
+
+type problem
+
+type error = Unknown_attr of string | Empty_lub
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [compile poset attrs csts] — every attribute mentioned must appear in
+    [attrs]. *)
+val compile : Poset.t -> string list -> cst list -> (problem, error) result
+
+val compile_exn : Poset.t -> string list -> cst list -> problem
+val n_attrs : problem -> int
+val attr_name : problem -> int -> string
+val attr_id_exn : problem -> string -> int
+
+(** [satisfies problem assignment] with [assignment.(a)] the poset element
+    of attribute id [a]. *)
+val satisfies : problem -> Poset.elt array -> bool
+
+(** Backtracking search for any satisfying assignment.  Exponential in the
+    worst case (that is Thm. 6.1's point); [decisions] counts branch
+    points. *)
+val satisfiable : problem -> Poset.elt array option
+
+val satisfiable_count : problem -> Poset.elt array option * int
+
+(** Greedy pointwise descent from a satisfying assignment: repeatedly
+    replace some attribute's element by a strictly lower one while the
+    assignment still satisfies the constraints.  The result is locally
+    minimal (no single-attribute lowering applies). *)
+val minimize : problem -> Poset.elt array -> Poset.elt array
+
+(** Exhaustive enumeration of all satisfying assignments
+    ([Error `Too_large] beyond [cap], default [2_000_000]). *)
+val all_solutions :
+  ?cap:int -> problem -> (Poset.elt array list, [ `Too_large ]) result
+
+(** The pointwise-minimal satisfying assignments. *)
+val minimal_solutions :
+  ?cap:int -> problem -> (Poset.elt array list, [ `Too_large ]) result

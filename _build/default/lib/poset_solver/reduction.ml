@@ -1,0 +1,126 @@
+open Minup_lattice
+
+type t = {
+  poset : Poset.t;
+  problem : Minposet.problem;
+  cnf : Sat.cnf;
+  clause_vars : int list array;
+}
+
+let distinct_vars clause =
+  List.sort_uniq compare (List.map abs clause)
+
+(* All assignments of [vars] (as (var, value) lists) satisfying [clause]. *)
+let satisfying_assignments clause vars =
+  let k = List.length vars in
+  let rec all = function
+    | [] -> [ [] ]
+    | v :: rest ->
+        let tails = all rest in
+        List.concat_map (fun t -> [ (v, true) :: t; (v, false) :: t ]) tails
+  in
+  ignore k;
+  List.filter
+    (fun t ->
+      List.exists
+        (fun l ->
+          let v = abs l in
+          let value = List.assoc v t in
+          if l > 0 then value else not value)
+        clause)
+    (all vars)
+
+let clause_elt_name i t =
+  Printf.sprintf "C%d:%s" i
+    (String.concat "."
+       (List.map (fun (v, b) -> Printf.sprintf "P%d%c" v (if b then '+' else '-')) t))
+
+let build cnf =
+  (match Sat.check cnf with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Reduction.build: %a" Sat.pp_error e));
+  if List.exists (fun c -> c = []) cnf.clauses then
+    invalid_arg "Reduction.build: empty clause";
+  let clauses = Array.of_list cnf.clauses in
+  let clause_vars = Array.map distinct_vars clauses in
+  let names = ref [] and order = ref [] in
+  let add_name n = names := n :: !names in
+  for j = 1 to cnf.n_vars do
+    add_name (Printf.sprintf "P%d" j);
+    add_name (Printf.sprintf "P%d+" j);
+    add_name (Printf.sprintf "P%d-" j);
+    order := (Printf.sprintf "P%d" j, Printf.sprintf "P%d+" j) :: !order;
+    order := (Printf.sprintf "P%d" j, Printf.sprintf "P%d-" j) :: !order
+  done;
+  Array.iteri
+    (fun i clause ->
+      let ci = Printf.sprintf "C%d" i in
+      add_name ci;
+      List.iter
+        (fun t ->
+          let elt = clause_elt_name i t in
+          add_name elt;
+          order := (elt, ci) :: !order;
+          List.iter
+            (fun (v, b) ->
+              let p = Printf.sprintf "P%d%c" v (if b then '+' else '-') in
+              order := (elt, p) :: !order)
+            t)
+        (satisfying_assignments clause clause_vars.(i)))
+    clauses;
+  let poset = Poset.create_exn ~names:(List.rev !names) ~order:!order in
+  let attrs =
+    List.init (Array.length clauses) (Printf.sprintf "wc%d")
+    @ List.init cnf.n_vars (fun j -> Printf.sprintf "wp%d" (j + 1))
+    @ List.init cnf.n_vars (fun j -> Printf.sprintf "wu%d" (j + 1))
+  in
+  let elt = Poset.of_name_exn poset in
+  let csts =
+    List.concat
+      (List.init (Array.length clauses) (fun i ->
+           Minposet.Leq_elt (Printf.sprintf "wc%d" i, elt (Printf.sprintf "C%d" i))
+           :: List.map
+                (fun v ->
+                  Minposet.Geq_attr
+                    (Printf.sprintf "wp%d" v, Printf.sprintf "wc%d" i))
+                clause_vars.(i)))
+    @ List.concat
+        (List.init cnf.n_vars (fun j ->
+             let j = j + 1 in
+             [
+               Minposet.Geq_attr
+                 (Printf.sprintf "wu%d" j, Printf.sprintf "wp%d" j);
+               Minposet.Geq_elt
+                 (Printf.sprintf "wu%d" j, elt (Printf.sprintf "P%d" j));
+             ]))
+  in
+  let problem = Minposet.compile_exn poset attrs csts in
+  { poset; problem; cnf; clause_vars }
+
+let decode t assignment =
+  let out = Array.make (t.cnf.n_vars + 1) true in
+  for j = 1 to t.cnf.n_vars do
+    let wu = Minposet.attr_id_exn t.problem (Printf.sprintf "wu%d" j) in
+    let minus = Poset.of_name_exn t.poset (Printf.sprintf "P%d-" j) in
+    if assignment.(wu) = minus then out.(j) <- false
+  done;
+  out
+
+let encode t truth =
+  let n = Minposet.n_attrs t.problem in
+  let out = Array.make n (-1) in
+  let set name e = out.(Minposet.attr_id_exn t.problem name) <- e in
+  for j = 1 to t.cnf.n_vars do
+    let p = Printf.sprintf "P%d%c" j (if truth.(j) then '+' else '-') in
+    let e = Poset.of_name_exn t.poset p in
+    set (Printf.sprintf "wp%d" j) e;
+    set (Printf.sprintf "wu%d" j) e
+  done;
+  Array.iteri
+    (fun i vars ->
+      let tassign = List.map (fun v -> (v, truth.(v))) vars in
+      set
+        (Printf.sprintf "wc%d" i)
+        (Poset.of_name_exn t.poset (clause_elt_name i tassign)))
+    (Array.of_seq (Array.to_seq t.clause_vars));
+  out

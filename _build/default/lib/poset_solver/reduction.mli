@@ -1,0 +1,35 @@
+(** The Fig. 4 reduction: 3-SAT ≤p min-poset (proof of Thm. 6.1).
+
+    For a CNF formula, the constructed poset has height one and contains,
+    per clause [i], an element [Ci] plus one element [Ci:t] for each truth
+    assignment [t] of the clause's variables that satisfies the clause
+    (≤ 7 for a 3-clause), and per variable [j] three elements [Pj], [Pj+],
+    [Pj-].  Order: [Pj± ≥ Pj], [Ci ≥ Ci:t], and [Pj+ ≥ Ci:t] (resp.
+    [Pj- ≥ Ci:t]) when [t] makes [j] true (resp. false).
+
+    Attributes [wc_i], [wp_j], [wu_j] carry the constraints
+    [Ci ≥ wc_i], [wp_j ≥ wc_i] (for [j] in clause [i]), [wu_j ≥ wp_j] and
+    [wu_j ≥ Pj].  The resulting min-poset instance is solvable iff the
+    formula is satisfiable, and solutions decode to satisfying
+    assignments. *)
+
+open Minup_lattice
+
+type t = private {
+  poset : Poset.t;
+  problem : Minposet.problem;
+  cnf : Sat.cnf;
+  clause_vars : int list array;  (** distinct variables per clause *)
+}
+
+(** @raise Invalid_argument on an empty clause (trivially unsatisfiable —
+    no reduction needed) or an ill-formed formula. *)
+val build : Sat.cnf -> t
+
+(** Read a truth assignment off a satisfying min-poset assignment (via the
+    [wu_j] attributes); index 0 unused. *)
+val decode : t -> Poset.elt array -> bool array
+
+(** Construct the min-poset solution corresponding to a satisfying truth
+    assignment. *)
+val encode : t -> bool array -> Poset.elt array

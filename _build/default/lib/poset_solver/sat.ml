@@ -1,0 +1,112 @@
+type literal = int
+type clause = literal list
+type cnf = { n_vars : int; clauses : clause list }
+type error = Zero_literal | Var_out_of_range of int
+
+let pp_error ppf = function
+  | Zero_literal -> Format.fprintf ppf "literal 0 is not allowed"
+  | Var_out_of_range v -> Format.fprintf ppf "variable %d out of range" v
+
+let check cnf =
+  let bad = ref None in
+  List.iter
+    (List.iter (fun l ->
+         if !bad = None then
+           if l = 0 then bad := Some Zero_literal
+           else if abs l > cnf.n_vars then bad := Some (Var_out_of_range (abs l))))
+    cnf.clauses;
+  match !bad with None -> Ok () | Some e -> Error e
+
+let satisfies cnf assignment =
+  List.for_all
+    (List.exists (fun l ->
+         if l > 0 then assignment.(l) else not assignment.(-l)))
+    cnf.clauses
+
+(* Assignment state: 0 unassigned, 1 true, -1 false. *)
+let value state l =
+  let v = state.(abs l) in
+  if v = 0 then 0 else if l > 0 then v else -v
+
+let solve_count cnf =
+  (match check cnf with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Sat.solve: %a" pp_error e));
+  let decisions = ref 0 in
+  let state = Array.make (cnf.n_vars + 1) 0 in
+  (* Returns the simplified clause list, or None on conflict. *)
+  let rec simplify acc = function
+    | [] -> Some (List.rev acc)
+    | clause :: rest -> (
+        let rec reduce kept = function
+          | [] -> if kept = [] then `Conflict else `Clause kept
+          | l :: ls -> (
+              match value state l with
+              | 1 -> `True
+              | -1 -> reduce kept ls
+              | _ -> reduce (l :: kept) ls)
+        in
+        match reduce [] clause with
+        | `True -> simplify acc rest
+        | `Conflict -> None
+        | `Clause kept -> simplify (kept :: acc) rest)
+  in
+  let rec propagate clauses =
+    match simplify [] clauses with
+    | None -> None
+    | Some cs -> (
+        match List.find_opt (fun c -> List.length c = 1) cs with
+        | Some [ l ] ->
+            state.(abs l) <- (if l > 0 then 1 else -1);
+            propagate cs
+        | Some _ -> assert false
+        | None -> Some cs)
+  in
+  let pure_literals clauses =
+    let pos = Hashtbl.create 16 and neg = Hashtbl.create 16 in
+    List.iter
+      (List.iter (fun l ->
+           if l > 0 then Hashtbl.replace pos l ()
+           else Hashtbl.replace neg (-l) ()))
+      clauses;
+    Hashtbl.fold
+      (fun v () acc -> if Hashtbl.mem neg v then acc else v :: acc)
+      pos []
+    @ Hashtbl.fold
+        (fun v () acc -> if Hashtbl.mem pos v then acc else -v :: acc)
+        neg []
+  in
+  let rec dpll clauses =
+    match propagate clauses with
+    | None -> false
+    | Some [] -> true
+    | Some cs -> (
+        match pure_literals cs with
+        | l :: _ ->
+            state.(abs l) <- (if l > 0 then 1 else -1);
+            dpll cs
+        | [] -> (
+            (* Branch on the first literal of the first clause. *)
+            match cs with
+            | (l :: _) :: _ ->
+                incr decisions;
+                let saved = Array.copy state in
+                state.(abs l) <- (if l > 0 then 1 else -1);
+                if dpll cs then true
+                else begin
+                  Array.blit saved 0 state 0 (Array.length state);
+                  state.(abs l) <- (if l > 0 then -1 else 1);
+                  dpll cs
+                end
+            | _ -> assert false))
+  in
+  if dpll cnf.clauses then begin
+    let assignment = Array.make (cnf.n_vars + 1) false in
+    for v = 1 to cnf.n_vars do
+      assignment.(v) <- state.(v) = 1
+    done;
+    (Some assignment, !decisions)
+  end
+  else (None, !decisions)
+
+let solve cnf = fst (solve_count cnf)

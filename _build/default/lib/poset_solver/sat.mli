@@ -1,0 +1,34 @@
+(** Propositional satisfiability (DPLL).
+
+    Substrate for the NP-completeness experiment (Thm. 6.1): the Fig. 4
+    reduction maps 3-SAT instances to {e min-poset} problems, and this
+    solver provides the ground truth for the equivalence check.
+
+    Literals are nonzero integers: [v] is the positive literal of variable
+    [v ≥ 1], [-v] its negation. *)
+
+type literal = int
+type clause = literal list
+
+type cnf = { n_vars : int; clauses : clause list }
+
+type error = Zero_literal | Var_out_of_range of int
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Validate literal ranges. *)
+val check : cnf -> (unit, error) result
+
+(** [satisfies cnf assignment] with [assignment.(v)] the value of variable
+    [v] (index 0 unused). *)
+val satisfies : cnf -> bool array -> bool
+
+(** DPLL with unit propagation and pure-literal elimination.  Returns a
+    satisfying assignment or [None].  @raise Invalid_argument on an
+    ill-formed formula. *)
+val solve : cnf -> bool array option
+
+(** Number of DPLL branching decisions made by the last [solve] call is not
+    tracked globally; [solve_count] returns the result together with the
+    decision count, for benchmarks. *)
+val solve_count : cnf -> bool array option * int

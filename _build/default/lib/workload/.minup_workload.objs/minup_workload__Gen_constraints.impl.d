@@ -1,0 +1,1 @@
+lib/workload/gen_constraints.ml: Cst Fun List Minup_constraints Printf Prng

@@ -1,0 +1,1 @@
+lib/workload/gen_constraints.mli: Minup_constraints Prng

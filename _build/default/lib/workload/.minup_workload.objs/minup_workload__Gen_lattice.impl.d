@@ -1,0 +1,1 @@
+lib/workload/gen_lattice.ml: Array Explicit Int List Minup_lattice Printf Prng Set String

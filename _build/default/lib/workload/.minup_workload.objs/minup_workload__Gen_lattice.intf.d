@@ -1,0 +1,1 @@
+lib/workload/gen_lattice.mli: Explicit Minup_lattice Prng

@@ -1,0 +1,1 @@
+lib/workload/gen_sat.ml: List Minup_poset Prng

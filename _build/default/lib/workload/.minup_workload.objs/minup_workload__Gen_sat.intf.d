@@ -1,0 +1,1 @@
+lib/workload/gen_sat.mli: Minup_poset Prng

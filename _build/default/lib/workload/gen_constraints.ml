@@ -1,0 +1,106 @@
+open Minup_constraints
+
+type 'lvl spec = {
+  n_attrs : int;
+  n_simple : int;
+  n_complex : int;
+  max_lhs : int;
+  n_constants : int;
+  constants : 'lvl list;
+}
+
+let attr_names n = List.init n (Printf.sprintf "A%d")
+
+let check spec =
+  if spec.n_attrs < 2 then invalid_arg "Gen_constraints: need at least 2 attributes";
+  if spec.max_lhs < 2 then invalid_arg "Gen_constraints: max_lhs must be >= 2";
+  if spec.constants = [] then invalid_arg "Gen_constraints: empty constant pool"
+
+let name i = Printf.sprintf "A%d" i
+
+let constant_floors rng spec =
+  List.init spec.n_constants (fun _ ->
+      Cst.simple (name (Prng.int rng spec.n_attrs)) (Cst.Level (Prng.pick rng spec.constants)))
+
+(* Distinct indices in [lo, hi), at most hi-lo of them. *)
+let distinct rng k lo hi =
+  Prng.sample rng k (List.init (hi - lo) (fun i -> lo + i))
+
+let acyclic rng spec =
+  check spec;
+  let n = spec.n_attrs in
+  let simple =
+    List.init spec.n_simple (fun _ ->
+        (* Edge from lower index (lhs) to strictly higher index (rhs). *)
+        let src = Prng.int rng (n - 1) in
+        let dst = src + 1 + Prng.int rng (n - src - 1) in
+        Cst.simple (name src) (Cst.Attr (name dst)))
+  in
+  let complex =
+    List.init spec.n_complex (fun _ ->
+        let dst = 1 + Prng.int rng (n - 1) in
+        let k = min dst (2 + Prng.int rng (spec.max_lhs - 1)) in
+        let lhs = List.map name (distinct rng k 0 dst) in
+        Cst.make_exn ~lhs ~rhs:(Cst.Attr (name dst)))
+  in
+  (attr_names n, constant_floors rng spec @ simple @ complex)
+
+let scc_over rng spec ~lo ~hi =
+  (* Backbone Hamiltonian cycle over indices [lo, hi). *)
+  let backbone =
+    List.init (hi - lo) (fun i ->
+        let a = lo + i and b = lo + ((i + 1) mod (hi - lo)) in
+        Cst.simple (name a) (Cst.Attr (name b)))
+  in
+  let chord _ =
+    let a = lo + Prng.int rng (hi - lo) in
+    let b = lo + Prng.int rng (hi - lo) in
+    if a = b then None else Some (Cst.simple (name a) (Cst.Attr (name b)))
+  in
+  let simple = List.filter_map chord (List.init spec.n_simple Fun.id) in
+  let complex =
+    List.init spec.n_complex (fun _ ->
+        let dst = lo + Prng.int rng (hi - lo) in
+        let pool = List.filter (fun i -> i <> dst) (List.init (hi - lo) (fun i -> lo + i)) in
+        let k = min (List.length pool) (2 + Prng.int rng (spec.max_lhs - 1)) in
+        let lhs = List.map name (Prng.sample rng k pool) in
+        Cst.make_exn ~lhs ~rhs:(Cst.Attr (name dst)))
+  in
+  backbone @ simple @ complex
+
+let single_scc rng spec =
+  check spec;
+  ( attr_names spec.n_attrs,
+    constant_floors rng spec @ scc_over rng spec ~lo:0 ~hi:spec.n_attrs )
+
+let mixed rng spec ~n_islands ~island_size =
+  check spec;
+  if n_islands * island_size > spec.n_attrs then
+    invalid_arg "Gen_constraints.mixed: islands exceed attribute count";
+  let per_island =
+    {
+      spec with
+      n_simple = spec.n_simple / max 1 n_islands;
+      n_complex = spec.n_complex / max 1 n_islands;
+      n_constants = 0;
+    }
+  in
+  let islands =
+    List.concat
+      (List.init n_islands (fun i ->
+           scc_over rng per_island ~lo:(i * island_size) ~hi:((i + 1) * island_size)))
+  in
+  (* Acyclic wiring: edges from any attribute into a strictly later island
+     or into the attributes beyond the islands. *)
+  let n = spec.n_attrs in
+  let island_of i = if i < n_islands * island_size then i / island_size else n_islands in
+  let wires =
+    List.filter_map
+      (fun _ ->
+        let a = Prng.int rng n and b = Prng.int rng n in
+        if island_of a < island_of b then
+          Some (Cst.simple (name a) (Cst.Attr (name b)))
+        else None)
+      (List.init spec.n_simple Fun.id)
+  in
+  (attr_names n, constant_floors rng spec @ islands @ wires)

@@ -1,0 +1,48 @@
+(** Random constraint-set generators with controlled shape.
+
+    The Thm. 5.2 reproduction needs constraint sets whose structural
+    parameters ([N_A], [N_C], [S], lhs sizes, cyclicity) are dialed in
+    precisely:
+
+    - {!acyclic} — a random DAG of constraints (the linear-time case);
+    - {!single_scc} — one big strongly connected component (the quadratic
+      worst case the paper's analysis is about);
+    - {!mixed} — several SCC "islands" wired acyclically (the realistic
+      shape: "cyclic constraints ... will typically include only a small
+      portion of the input constraint set").
+
+    Generators are polymorphic in the level type; [constants] supplies the
+    pool of explicit levels used for basic constraints.  Attribute names
+    are [A0, A1, …]; pass [attrs] (also returned) to
+    {!Minup_constraints.Problem.compile} to pin ids. *)
+
+type 'lvl spec = {
+  n_attrs : int;
+  n_simple : int;  (** simple attribute-to-attribute constraints *)
+  n_complex : int;
+  max_lhs : int;  (** ≥ 2; lhs sizes drawn uniformly from [2 .. max_lhs] *)
+  n_constants : int;  (** basic constraints [A ⊒ l] *)
+  constants : 'lvl list;  (** non-empty pool of levels *)
+}
+
+val attr_names : int -> string list
+
+(** A constraint set whose graph is a DAG (every attribute-rhs edge goes
+    from lower to higher attribute index). *)
+val acyclic :
+  Prng.t -> 'lvl spec -> string list * 'lvl Minup_constraints.Cst.t list
+
+(** All [n_attrs] attributes in one SCC: a Hamiltonian backbone cycle of
+    simple constraints plus random chords and complex constraints within
+    the component, plus constant floors. *)
+val single_scc :
+  Prng.t -> 'lvl spec -> string list * 'lvl Minup_constraints.Cst.t list
+
+(** [mixed rng spec ~n_islands ~island_size] — [n_islands] SCCs of
+    [island_size] attributes each, embedded in an otherwise acyclic set. *)
+val mixed :
+  Prng.t ->
+  'lvl spec ->
+  n_islands:int ->
+  island_size:int ->
+  string list * 'lvl Minup_constraints.Cst.t list

@@ -1,0 +1,120 @@
+open Minup_lattice
+
+let chain_product ?(max_size = 20_000) heights =
+  if heights = [] then invalid_arg "Gen_lattice.chain_product: empty";
+  if List.exists (fun h -> h < 0) heights then
+    invalid_arg "Gen_lattice.chain_product: negative height";
+  let size =
+    List.fold_left
+      (fun acc h ->
+        let k = h + 1 in
+        if acc > max_size / k then max_size + 1 else acc * k)
+      1 heights
+  in
+  if size > max_size then invalid_arg "Gen_lattice.chain_product: too large";
+  let dims = Array.of_list heights in
+  let k = Array.length dims in
+  (* Enumerate coordinate vectors in mixed-radix order. *)
+  let name coords =
+    String.concat "." (Array.to_list (Array.map string_of_int coords))
+  in
+  let names = ref [] and order = ref [] in
+  let coords = Array.make k 0 in
+  let continue = ref true in
+  while !continue do
+    names := name coords :: !names;
+    for i = 0 to k - 1 do
+      if coords.(i) < dims.(i) then begin
+        let above = Array.copy coords in
+        above.(i) <- above.(i) + 1;
+        order := (name coords, name above) :: !order
+      end
+    done;
+    (* Increment. *)
+    let rec inc i =
+      if i = k then continue := false
+      else if coords.(i) < dims.(i) then coords.(i) <- coords.(i) + 1
+      else begin
+        coords.(i) <- 0;
+        inc (i + 1)
+      end
+    in
+    inc 0
+  done;
+  Explicit.create_exn ~names:(List.rev !names) ~order:!order
+
+let diamond_stack n =
+  if n < 1 then invalid_arg "Gen_lattice.diamond_stack: n < 1";
+  let names = ref [] and order = ref [] in
+  for i = 0 to n - 1 do
+    let bot = Printf.sprintf "b%d" i
+    and left = Printf.sprintf "l%d" i
+    and right = Printf.sprintf "r%d" i
+    and top = Printf.sprintf "b%d" (i + 1) in
+    if i = 0 then names := [ bot ];
+    names := top :: right :: left :: !names;
+    order :=
+      (bot, left) :: (bot, right) :: (left, top) :: (right, top) :: !order
+  done;
+  Explicit.create_exn ~names:(List.rev !names) ~order:!order
+
+module IS = Set.Make (Int)
+
+let random_closure rng ~universe ~n_generators ~max_size =
+  if universe < 1 || universe > 30 then
+    invalid_arg "Gen_lattice.random_closure: universe must be in 1..30";
+  let full = (1 lsl universe) - 1 in
+  let random_subset () =
+    let s = ref 0 in
+    for i = 0 to universe - 1 do
+      if Prng.bool rng then s := !s lor (1 lsl i)
+    done;
+    !s
+  in
+  let gens = List.init n_generators (fun _ -> random_subset ()) in
+  let family = ref (IS.of_list (0 :: full :: gens)) in
+  (* Close under pairwise union and intersection. *)
+  let exception Too_big in
+  try
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let elems = IS.elements !family in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              List.iter
+                (fun c ->
+                  if not (IS.mem c !family) then begin
+                    family := IS.add c !family;
+                    changed := true;
+                    if IS.cardinal !family > max_size then raise Too_big
+                  end)
+                [ a lor b; a land b ])
+            elems)
+        elems
+    done;
+    let elems = IS.elements !family in
+    let name m = Printf.sprintf "s%x" m in
+    let order =
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              if a <> b && a land b = a then Some (name a, name b) else None)
+            elems)
+        elems
+    in
+    Some (Explicit.create_exn ~names:(List.map name elems) ~order)
+  with Too_big -> None
+
+let random_closure_exn rng ~universe ~n_generators ~max_size =
+  let rec go attempts =
+    if attempts = 0 then failwith "Gen_lattice.random_closure_exn: no fit"
+    else
+      match random_closure rng ~universe ~n_generators ~max_size with
+      | Some l -> l
+      | None -> go (attempts - 1)
+  in
+  go 100

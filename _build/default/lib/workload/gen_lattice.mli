@@ -1,0 +1,35 @@
+(** Random and parametric lattice generators.
+
+    Sources of guaranteed-correct lattices of varied shape:
+
+    - {!chain_product}: products of chains, materialized explicitly —
+      height and branching controlled directly;
+    - {!diamond_stack}: a tower of diamonds (height [2n], branching 2);
+    - {!random_closure}: the ∪/∩-closure of random generator subsets of a
+      finite universe — a random {e sublattice of a powerset}, which is
+      always a lattice and produces irregular shapes (every finite
+      distributive lattice arises this way).
+
+    All results are validated {!Minup_lattice.Explicit} values. *)
+
+open Minup_lattice
+
+(** [chain_product heights] — the product of chains with the given numbers
+    of {e edges} (so [chain_product [1;1]] is the 4-element diamond).
+    @raise Invalid_argument if the size exceeds [max_size] (default
+    [20_000]) or [heights] is empty. *)
+val chain_product : ?max_size:int -> int list -> Explicit.t
+
+(** [diamond_stack n] — [n ≥ 1] diamonds glued top-to-bottom. *)
+val diamond_stack : int -> Explicit.t
+
+(** [random_closure rng ~universe ~n_generators ~max_size] — close random
+    generator sets under union and intersection (⊥ = ∅ and ⊤ = universe
+    added).  [None] if the closure exceeds [max_size]. *)
+val random_closure :
+  Prng.t -> universe:int -> n_generators:int -> max_size:int -> Explicit.t option
+
+(** Keep drawing [random_closure] until one fits; gives up after 100
+    attempts.  @raise Failure then. *)
+val random_closure_exn :
+  Prng.t -> universe:int -> n_generators:int -> max_size:int -> Explicit.t

@@ -1,0 +1,7 @@
+let random_3sat rng ~n_vars ~n_clauses =
+  if n_vars < 3 then invalid_arg "Gen_sat.random_3sat: n_vars < 3";
+  let clause () =
+    let vars = Prng.sample rng 3 (List.init n_vars (fun i -> i + 1)) in
+    List.map (fun v -> if Prng.bool rng then v else -v) vars
+  in
+  Minup_poset.Sat.{ n_vars; clauses = List.init n_clauses (fun _ -> clause ()) }

@@ -1,0 +1,6 @@
+(** Random 3-SAT instances for the Thm. 6.1 experiment. *)
+
+(** [random_3sat rng ~n_vars ~n_clauses] — each clause has 3 distinct
+    variables with independent random polarities.
+    @raise Invalid_argument if [n_vars < 3]. *)
+val random_3sat : Prng.t -> n_vars:int -> n_clauses:int -> Minup_poset.Sat.cnf

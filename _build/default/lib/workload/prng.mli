@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Workloads and property tests never touch the global [Random] state:
+    every generator takes an explicit [Prng.t], so a (seed, parameters)
+    pair identifies a workload exactly — benchmark series are replayable
+    and test failures reproducible. *)
+
+type t
+
+val create : int -> t
+
+(** [int t bound] — uniform in [\[0, bound)].  @raise Invalid_argument on
+    non-positive bound. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** @raise Invalid_argument on an empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** In-place Fisher–Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** [sample t k xs] — [k] distinct elements of [xs] (all of [xs] if
+    [k ≥ length]). *)
+val sample : t -> int -> 'a list -> 'a list
+
+(** An independent stream derived from this one. *)
+val split : t -> t

@@ -1,0 +1,14 @@
+  $ mlsclassify demo
+  $ mlsclassify solve -l fig1b.lat -c employee.cst
+  $ mlsclassify solve -l fig1b.lat -c employee.cst --check-minimal
+  $ mlsclassify stats -l fig1b.lat -c employee.cst
+  $ mlsclassify solve -l fig1b.lat -c employee.cst --bound salary=L2
+  $ mlsclassify dot -l fig1b.lat | head -4
+  $ mlsclassify dot -l fig1b.lat -c employee.cst | grep -c circle
+  $ mlsclassify solve -l fig1b.lat -c employee.cst --explain | tail -6
+  $ mlsclassify solve -l fig1b.lat -c employee.cst -o out.lvl
+  $ mlsclassify check -l fig1b.lat -c employee.cst -a out.lvl
+  $ sed 's/^rank = L1/rank = L4/' out.lvl > fat.lvl
+  $ mlsclassify check -l fig1b.lat -c employee.cst -a fat.lvl
+  $ sed 's/^salary = L6/salary = L1/' out.lvl > bad.lvl
+  $ mlsclassify check -l fig1b.lat -c employee.cst -a bad.lvl

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Explicit List Minup_constraints Minup_core Minup_lattice QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_assignment_io.ml: Alcotest Array Explicit Helpers List Minup_core Minup_lattice S

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Cst Explicit Helpers List Minup_baselines Minup_constraints Minup_core Minup_lattice Minup_workload Option Printf QCheck S V

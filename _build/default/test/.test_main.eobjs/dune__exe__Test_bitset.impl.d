@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Helpers List Minup_lattice QCheck

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Check Helpers Lattice_intf Minup_lattice Powerset String Total

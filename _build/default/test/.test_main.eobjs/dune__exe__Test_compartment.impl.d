@@ -1,0 +1,1 @@
+test/test_compartment.ml: Alcotest Check Compartment Helpers Minup_lattice Option QCheck Seq

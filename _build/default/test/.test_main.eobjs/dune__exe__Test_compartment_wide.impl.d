@@ -1,0 +1,1 @@
+test/test_compartment_wide.ml: Alcotest Array Check Compartment Compartment_wide Helpers List Minup_constraints Minup_core Minup_lattice Option Printf Seq

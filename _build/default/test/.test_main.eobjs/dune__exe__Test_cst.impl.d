@@ -1,0 +1,1 @@
+test/test_cst.ml: Alcotest Format Helpers Minup_constraints

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Dot Explicit Helpers List Minup_lattice Poset String

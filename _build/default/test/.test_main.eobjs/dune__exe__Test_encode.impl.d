@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Encode Explicit Helpers List Minup_lattice Minup_workload Printf QCheck

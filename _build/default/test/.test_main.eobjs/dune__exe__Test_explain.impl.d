@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Explicit Format Helpers List Minup_constraints Minup_core Minup_lattice Minup_workload QCheck S String V

@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Fd Helpers List Minup_mls Minup_workload QCheck

@@ -1,0 +1,1 @@
+test/test_graphviz.ml: Alcotest Helpers List Minup_constraints Minup_core Minup_lattice String

@@ -1,0 +1,1 @@
+test/test_hasse.ml: Alcotest Array Bitset Hasse Helpers List Minup_lattice QCheck

@@ -1,0 +1,1 @@
+test/test_impact.ml: Alcotest Explicit Format Helpers List Minup_constraints Minup_core Minup_lattice String

@@ -1,0 +1,1 @@
+test/test_lattice_file.ml: Alcotest Explicit Helpers Lattice_file List Minup_lattice Semilattice String

@@ -1,0 +1,1 @@
+test/test_minposet.ml: Alcotest Array Fun Helpers List Minposet Minup_lattice Minup_poset Minup_workload Poset Printf QCheck

@@ -1,0 +1,1 @@
+test/test_mls.ml: Alcotest Array Explicit Extract Fd Helpers Instance List Minup_constraints Minup_lattice Minup_mls Option Schema String

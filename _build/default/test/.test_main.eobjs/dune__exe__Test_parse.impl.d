@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Compartment Helpers List Minup_constraints Minup_lattice Minup_workload QCheck Total

@@ -1,0 +1,1 @@
+test/test_poset.ml: Alcotest Fun Helpers List Minup_lattice Minup_workload Poset Printf QCheck

@@ -1,0 +1,1 @@
+test/test_powerset.ml: Alcotest Check Helpers Minup_lattice Powerset QCheck

@@ -1,0 +1,1 @@
+test/test_preference.ml: Alcotest Array Hashtbl Helpers List Minup_core Minup_lattice Minup_workload QCheck S V

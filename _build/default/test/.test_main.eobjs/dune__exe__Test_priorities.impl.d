@@ -1,0 +1,1 @@
+test/test_priorities.ml: Alcotest Array Fun Helpers List Minup_constraints Minup_core Minup_workload Option Printf QCheck

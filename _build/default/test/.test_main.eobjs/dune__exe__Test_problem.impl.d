@@ -1,0 +1,1 @@
+test/test_problem.ml: Alcotest Array Helpers List Minup_constraints Option

@@ -1,0 +1,1 @@
+test/test_product.ml: Alcotest Check Helpers List Minup_lattice Powerset Product Total

@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Array Helpers Minposet Minup_lattice Minup_poset Minup_workload Option Poset QCheck Reduction Sat

@@ -1,0 +1,1 @@
+test/test_residual.ml: Alcotest Array Compartment Helpers Minup_constraints Minup_core Minup_lattice Minup_workload QCheck Total

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Helpers Minup_poset Minup_workload QCheck Sat

@@ -1,0 +1,1 @@
+test/test_scc.ml: Alcotest Array Helpers Minup_constraints Minup_core Minup_workload Option QCheck

@@ -1,0 +1,1 @@
+test/test_semilattice.ml: Alcotest Check Explicit Helpers Minup_lattice Semilattice

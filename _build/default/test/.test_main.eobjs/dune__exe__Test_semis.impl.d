@@ -1,0 +1,1 @@
+test/test_semis.ml: Alcotest Explicit Helpers List Minup_constraints Minup_core Minup_lattice Semilattice

@@ -1,0 +1,1 @@
+test/test_solver_acyclic.ml: Alcotest Array Cst Explicit Helpers List Minup_lattice Minup_workload Option QCheck S V

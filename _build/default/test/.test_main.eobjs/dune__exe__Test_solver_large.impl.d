@@ -1,0 +1,1 @@
+test/test_solver_large.ml: Alcotest Explicit Fun Helpers List Minup_core Minup_lattice Minup_workload Printf QCheck Total

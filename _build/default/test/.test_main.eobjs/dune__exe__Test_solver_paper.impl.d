@@ -1,0 +1,1 @@
+test/test_solver_paper.ml: Alcotest Array Explicit Helpers List Minup_constraints Minup_core Minup_lattice Option S V

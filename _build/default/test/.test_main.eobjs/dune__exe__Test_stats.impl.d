@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Helpers Minup_constraints Minup_core Minup_workload

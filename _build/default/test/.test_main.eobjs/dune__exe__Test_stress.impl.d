@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Helpers List Minup_constraints Minup_core Minup_lattice Option Powerset Printf Total

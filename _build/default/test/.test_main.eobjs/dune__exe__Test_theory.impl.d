@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Check Explicit Helpers List Minup_lattice Minup_workload QCheck Theory

@@ -1,0 +1,1 @@
+test/test_total.ml: Alcotest Check Helpers List Minup_lattice QCheck Total

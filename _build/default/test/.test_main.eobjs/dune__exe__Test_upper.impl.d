@@ -1,0 +1,1 @@
+test/test_upper.ml: Alcotest Array Explicit Helpers List Minup_constraints Minup_core Minup_lattice Minup_workload Option QCheck S V

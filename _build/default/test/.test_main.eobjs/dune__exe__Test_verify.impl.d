@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Helpers List Printf S V

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Explicit Fun Helpers List Minup_constraints Minup_lattice Minup_workload QCheck

@@ -1,0 +1,100 @@
+The demo reproduces the paper's Figure 2 final classification:
+
+  $ mlsclassify demo
+  Figure 2 of Dawson et al., PODS'99:
+  P                        L1
+  B                        L5
+  C                        L4
+  E                        L1
+  F                        L4
+  G                        L1
+  M                        L3
+  I                        L5
+  O                        L5
+  N                        L5
+  D                        L4
+
+Solving a policy file over a lattice file (the name <= L4 upper bound
+comes from the constraint file itself):
+
+  $ mlsclassify solve -l fig1b.lat -c employee.cst
+  name                     L1
+  salary                   L6
+  rank                     L1
+  department               L6
+
+Minimality can be verified exhaustively on small instances:
+
+  $ mlsclassify solve -l fig1b.lat -c employee.cst --check-minimal
+  verified: pointwise minimal
+  name                     L1
+  salary                   L6
+  rank                     L1
+  department               L6
+
+Structural statistics:
+
+  $ mlsclassify stats -l fig1b.lat -c employee.cst
+  attributes: 4
+  constraints: 3 (simple 1, complex 2, max lhs 2)
+  total size S: 8
+  acyclic: true
+  SCCs: 4 (largest 1, cyclic attributes 0)
+
+An inconsistent extra bound is rejected with a witness:
+
+  $ mlsclassify solve -l fig1b.lat -c employee.cst --bound salary=L2
+  inconsistent: constraint λ(salary) ⊒ L3 cannot be satisfied: the left-hand side is capped at L2
+  [2]
+
+DOT export of the lattice:
+
+  $ mlsclassify dot -l fig1b.lat | head -4
+  digraph lattice {
+    rankdir=BT;
+    n0 [label="L1"];
+    n1 [label="L2"];
+
+DOT export of the constraint graph:
+
+  $ mlsclassify dot -l fig1b.lat -c employee.cst | grep -c circle
+  4
+
+Explaining the result — every binding constraint per possible lowering:
+
+  $ mlsclassify solve -l fig1b.lat -c employee.cst --explain | tail -6
+    cannot lower to L5: lub{λ(name), λ(salary)} ⊒ L6
+  rank = L1
+    at bottom: no constraint holds it up
+  department = L6
+    cannot lower to L4: via propagation, lub{λ(name), λ(salary)} ⊒ L6
+    cannot lower to L5: via propagation, lub{λ(name), λ(salary)} ⊒ L6
+
+The solve/check round trip — write an assignment file, audit it:
+
+  $ mlsclassify solve -l fig1b.lat -c employee.cst -o out.lvl
+  name                     L1
+  salary                   L6
+  rank                     L1
+  department               L6
+  $ mlsclassify check -l fig1b.lat -c employee.cst -a out.lvl
+  OK: satisfies the constraints and is pointwise minimal
+
+An overclassified assignment is flagged with the possible lowerings:
+
+  $ sed 's/^rank = L1/rank = L4/' out.lvl > fat.lvl
+  $ mlsclassify check -l fig1b.lat -c employee.cst -a fat.lvl
+  OVERCLASSIFIED: satisfies the constraints but some attributes can be lowered:
+    rank: L4 -> L2 possible
+    rank: L4 -> L3 possible
+    department: L6 -> L5 possible
+  [3]
+
+A violating assignment is rejected with the broken constraints:
+
+  $ sed 's/^salary = L6/salary = L1/' out.lvl > bad.lvl
+  $ mlsclassify check -l fig1b.lat -c employee.cst -a bad.lvl
+  VIOLATED: the assignment does not satisfy the constraints:
+    λ(salary) ⊒ L3
+    lub{λ(name), λ(salary)} ⊒ L6
+  [2]

@@ -1,0 +1,41 @@
+(* Shared test infrastructure: solver/oracle instantiations over the
+   Explicit lattice, level testables, and qcheck glue. *)
+
+open Minup_lattice
+module S = Minup_core.Solver.Make (Explicit)
+module V = Minup_core.Verify.Make (Explicit)
+module Cst = Minup_constraints.Cst
+module Problem = Minup_constraints.Problem
+
+let fig1b = Minup_core.Paper.fig1b
+let lvl name = Explicit.of_name_exn fig1b name
+let level_cst attr name = Cst.simple attr (Cst.Level (lvl name))
+let attr_cst attr target = Cst.simple attr (Cst.Attr target)
+let assoc_cst lhs name = Cst.make_exn ~lhs ~rhs:(Cst.Level (lvl name))
+let infer_cst lhs target = Cst.make_exn ~lhs ~rhs:(Cst.Attr target)
+
+(* Alcotest testable for levels of a given lattice, compared and printed by
+   name. *)
+let level_t lat =
+  Alcotest.testable (Explicit.pp_level lat) (fun a b -> Explicit.equal lat a b)
+
+(* Solve and return the assignment as (attr, level-name) pairs. *)
+let solve_names ?attrs lat csts =
+  let p = S.compile_exn ~lattice:lat ?attrs csts in
+  let sol = S.solve p in
+  List.map (fun (a, l) -> (a, Explicit.level_to_string lat l)) sol.assignment
+
+let check_solution_minimal ?cap lat ?attrs csts =
+  let p = S.compile_exn ~lattice:lat ?attrs csts in
+  let sol = S.solve p in
+  Alcotest.(check bool) "satisfies" true (S.satisfies p sol.levels);
+  match V.is_minimal_solution ?cap p sol.levels with
+  | Ok b -> Alcotest.(check bool) "minimal" true b
+  | Error `Too_large -> Alcotest.fail "oracle space too large"
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Arbitrary seeds; properties derive deterministic workloads from them. *)
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)
+
+let case name f = Alcotest.test_case name `Quick f

@@ -1,0 +1,59 @@
+open Minup_lattice
+open Helpers
+module Aio = Minup_core.Assignment_io
+
+let case = Helpers.case
+let level_of_string = Explicit.level_of_string fig1b
+let level_to_string = Explicit.level_to_string fig1b
+
+let parse_ok () =
+  let text = "# deployed labels\na = L2\n\nb = L6  # top\n" in
+  match Aio.parse ~level_of_string text with
+  | Ok [ ("a", a); ("b", b) ] ->
+      Alcotest.check (level_t fig1b) "a" (lvl "L2") a;
+      Alcotest.check (level_t fig1b) "b" (lvl "L6") b
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.failf "parse: %a" Aio.pp_error e
+
+let parse_errors () =
+  (match Aio.parse ~level_of_string "a = NOPE\n" with
+  | Error { line = 1; _ } -> ()
+  | _ -> Alcotest.fail "accepted unknown level");
+  (match Aio.parse ~level_of_string "just words\n" with
+  | Error { line = 1; _ } -> ()
+  | _ -> Alcotest.fail "accepted malformed line");
+  match Aio.parse ~level_of_string "a = L1\na = L2\n" with
+  | Error { line = 2; _ } -> ()
+  | _ -> Alcotest.fail "accepted duplicate"
+
+let roundtrip () =
+  let assignment = [ ("x", lvl "L3"); ("y", lvl "L1") ] in
+  match Aio.parse ~level_of_string (Aio.render ~level_to_string assignment) with
+  | Ok back ->
+      Alcotest.(check int) "same length" 2 (List.length back);
+      List.iter2
+        (fun (a, l) (a', l') ->
+          Alcotest.(check string) "attr" a a';
+          Alcotest.check (level_t fig1b) "level" l l')
+        assignment back
+  | Error e -> Alcotest.failf "roundtrip: %a" Aio.pp_error e
+
+let bind_cases () =
+  let p = S.compile_exn ~lattice:fig1b [ level_cst "a" "L2"; attr_cst "b" "a" ] in
+  (match Aio.bind p.S.prob [ ("a", lvl "L2"); ("b", lvl "L2") ] with
+  | Ok levels -> Alcotest.(check int) "two" 2 (Array.length levels)
+  | Error _ -> Alcotest.fail "bind failed");
+  (match Aio.bind p.S.prob [ ("a", lvl "L2") ] with
+  | Error (`Missing "b") -> ()
+  | _ -> Alcotest.fail "missing not detected");
+  match Aio.bind p.S.prob [ ("a", lvl "L2"); ("zz", lvl "L1") ] with
+  | Error (`Unknown "zz") -> ()
+  | _ -> Alcotest.fail "unknown not detected"
+
+let suite =
+  [
+    case "parse" parse_ok;
+    case "parse errors" parse_errors;
+    case "round-trip" roundtrip;
+    case "bind" bind_cases;
+  ]

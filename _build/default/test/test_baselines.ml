@@ -1,0 +1,163 @@
+(* Baselines: Qian-style overclassifier, backtracking alternative, topmost,
+   and the information-loss measures. *)
+
+open Minup_lattice
+open Helpers
+module Qian = Minup_baselines.Qian.Make (Explicit)
+module Backtrack = Minup_baselines.Backtrack.Make (Explicit)
+module Topmost = Minup_baselines.Topmost.Make (Explicit)
+module Loss = Minup_baselines.Loss.Make (Explicit)
+
+let case = Helpers.case
+
+let ranker () =
+  let rank = Loss.ranker fig1b in
+  List.iter
+    (fun (l, r) -> Alcotest.(check int) l r (rank (lvl l)))
+    [ ("L1", 0); ("L2", 1); ("L3", 1); ("L4", 2); ("L5", 2); ("L6", 3) ]
+
+let loss_measures () =
+  let reference = [| lvl "L1"; lvl "L2" |] in
+  let candidate = [| lvl "L4"; lvl "L2" |] in
+  Alcotest.(check int) "one overclassified" 1
+    (Loss.n_overclassified fig1b ~reference candidate);
+  Alcotest.(check int) "excess rank 2" 2
+    (Loss.excess_rank fig1b ~reference candidate);
+  Alcotest.(check int) "self loss" 0 (Loss.excess_rank fig1b ~reference reference)
+
+let qian_satisfies_fig2 () =
+  let p =
+    S.compile_exn ~lattice:fig1b ~attrs:Minup_core.Paper.fig2_attrs
+      Minup_core.Paper.fig2_constraints
+  in
+  let q = Qian.solve p in
+  Alcotest.(check bool) "satisfies" true (S.satisfies p q)
+
+let qian_overclassifies () =
+  (* §3.1 example: Qian raises both A and B; the algorithm raises one. *)
+  let p = S.compile_exn ~lattice:fig1b Minup_core.Paper.sec31_constraints in
+  let q = Qian.solve p in
+  let id x = Option.get (Minup_constraints.Problem.attr_id p.S.prob x) in
+  Alcotest.check (level_t fig1b) "A raised to L4" (lvl "L4") q.(id "A");
+  Alcotest.check (level_t fig1b) "B raised to L4" (lvl "L4") q.(id "B");
+  Alcotest.(check bool) "not minimal" true
+    (V.is_minimal_solution p q = Ok false);
+  let sol = S.solve p in
+  Alcotest.(check bool) "solver strictly better" true
+    (Loss.excess_rank fig1b ~reference:sol.S.levels q > 0)
+
+let qian_satisfies_random =
+  QCheck.Test.make ~count:60 ~name:"qian always satisfies" Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let spec =
+        Minup_workload.Gen_constraints.
+          {
+            n_attrs = 8;
+            n_simple = 7;
+            n_complex = 3;
+            max_lhs = 3;
+            n_constants = 3;
+            constants = Explicit.all fig1b;
+          }
+      in
+      let attrs, csts =
+        if Minup_workload.Prng.bool rng then
+          Minup_workload.Gen_constraints.acyclic rng spec
+        else Minup_workload.Gen_constraints.single_scc rng spec
+      in
+      let p = S.compile_exn ~lattice:fig1b ~attrs csts in
+      S.satisfies p (Qian.solve p))
+
+let topmost () =
+  let p = S.compile_exn ~lattice:fig1b Minup_core.Paper.sec31_constraints in
+  let t = Topmost.solve p in
+  Alcotest.(check bool) "satisfies" true (S.satisfies p t);
+  Array.iter (fun l -> Alcotest.check (level_t fig1b) "top" (lvl "L6") l) t
+
+let backtrack_search_space () =
+  let p =
+    S.compile_exn ~lattice:fig1b
+      [
+        assoc_cst [ "a"; "b" ] "L4";
+        assoc_cst [ "c"; "d"; "e" ] "L5";
+        level_cst "a" "L2";
+      ]
+  in
+  Alcotest.(check (option int)) "2*3 choices" (Some 6) (Backtrack.search_space p)
+
+let backtrack_finds_minimal () =
+  let p = S.compile_exn ~lattice:fig1b Minup_core.Paper.sec31_constraints in
+  match Backtrack.solve p with
+  | None -> Alcotest.fail "no solution found"
+  | Some sol ->
+      Alcotest.(check bool) "satisfies" true (S.satisfies p sol);
+      Alcotest.(check bool) "minimal" true (V.is_minimal_solution p sol = Ok true)
+
+let backtrack_candidates_satisfy () =
+  let p =
+    S.compile_exn ~lattice:fig1b
+      [
+        assoc_cst [ "a"; "b" ] "L6";
+        infer_cst [ "b"; "c" ] "a";
+        level_cst "c" "L2";
+      ]
+  in
+  let cands = Backtrack.candidates p in
+  Alcotest.(check bool) "nonempty" true (cands <> []);
+  List.iter
+    (fun (c : Backtrack.candidate) ->
+      Alcotest.(check bool) "candidate satisfies" true (S.satisfies p c.levels))
+    cands
+
+let backtrack_guard () =
+  let big =
+    List.init 20 (fun i ->
+        Cst.make_exn
+          ~lhs:[ Printf.sprintf "x%d" i; Printf.sprintf "y%d" i; Printf.sprintf "z%d" i ]
+          ~rhs:(Cst.Level (lvl "L4")))
+  in
+  let p = S.compile_exn ~lattice:fig1b big in
+  Alcotest.check_raises "guard"
+    (Invalid_argument "Backtrack.solve: choice space too large") (fun () ->
+      ignore (Backtrack.solve ~max_space:1000 p))
+
+let backtrack_agrees_with_solver =
+  QCheck.Test.make ~count:40
+    ~name:"backtracking baseline reaches a minimal solution too"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let spec =
+        Minup_workload.Gen_constraints.
+          {
+            n_attrs = 5;
+            n_simple = 3;
+            n_complex = 2;
+            max_lhs = 2;
+            n_constants = 2;
+            constants = Explicit.all fig1b;
+          }
+      in
+      let attrs, csts = Minup_workload.Gen_constraints.acyclic rng spec in
+      let p = S.compile_exn ~lattice:fig1b ~attrs csts in
+      match Backtrack.solve p with
+      | None -> false
+      | Some sol ->
+          S.satisfies p sol
+          && V.is_minimal_solution ~cap:150_000 p sol <> Ok false)
+
+let suite =
+  [
+    case "rank function" ranker;
+    case "loss measures" loss_measures;
+    case "qian satisfies Fig. 2" qian_satisfies_fig2;
+    case "qian overclassifies §3.1" qian_overclassifies;
+    Helpers.qcheck qian_satisfies_random;
+    case "topmost baseline" topmost;
+    case "backtrack search space" backtrack_search_space;
+    case "backtrack finds a minimal solution" backtrack_finds_minimal;
+    case "backtrack candidates satisfy" backtrack_candidates_satisfy;
+    case "backtrack guard" backtrack_guard;
+    Helpers.qcheck backtrack_agrees_with_solver;
+  ]

@@ -1,0 +1,88 @@
+open Minup_lattice
+
+let case = Helpers.case
+
+let basic () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Bitset.set s 0;
+  Bitset.set s 63;
+  Bitset.set s 99;
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "mem 64" false (Bitset.mem s 64);
+  Bitset.clear s 63;
+  Alcotest.(check bool) "cleared" false (Bitset.mem s 63);
+  Alcotest.(check (list int)) "to_list" [ 0; 99 ] (Bitset.to_list s)
+
+let bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "set oob" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> Bitset.set s 10);
+  Alcotest.check_raises "neg" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> ignore (Bitset.mem s (-1)))
+
+let set_ops () =
+  let a = Bitset.of_list 70 [ 1; 2; 3; 65 ] and b = Bitset.of_list 70 [ 2; 3; 4 ] in
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Bitset.to_list (Bitset.inter a b));
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4; 65 ]
+    (Bitset.to_list (Bitset.union a b));
+  Alcotest.(check (list int)) "diff" [ 1; 65 ] (Bitset.to_list (Bitset.diff a b));
+  Alcotest.(check bool) "subset no" false (Bitset.subset a b);
+  Alcotest.(check bool) "subset yes" true (Bitset.subset (Bitset.inter a b) a);
+  Alcotest.(check bool) "disjoint no" false (Bitset.disjoint a b);
+  Alcotest.(check bool) "disjoint yes" true
+    (Bitset.disjoint (Bitset.of_list 70 [ 0 ]) (Bitset.of_list 70 [ 69 ]))
+
+let min_max () =
+  let s = Bitset.of_list 200 [ 64; 127; 128; 199 ] in
+  Alcotest.(check (option int)) "min" (Some 64) (Bitset.min_elt s);
+  Alcotest.(check (option int)) "max" (Some 199) (Bitset.max_elt s);
+  let e = Bitset.create 200 in
+  Alcotest.(check (option int)) "min empty" None (Bitset.min_elt e);
+  Alcotest.(check (option int)) "max empty" None (Bitset.max_elt e)
+
+let in_place () =
+  let a = Bitset.of_list 70 [ 1; 2; 65 ] in
+  let b = Bitset.of_list 70 [ 2; 65; 66 ] in
+  let c = Bitset.copy a in
+  Bitset.inter_into c b;
+  Alcotest.(check (list int)) "inter_into" [ 2; 65 ] (Bitset.to_list c);
+  let d = Bitset.copy a in
+  Bitset.union_into d b;
+  Alcotest.(check (list int)) "union_into" [ 1; 2; 65; 66 ] (Bitset.to_list d);
+  (* originals untouched *)
+  Alcotest.(check (list int)) "copy isolated" [ 1; 2; 65 ] (Bitset.to_list a)
+
+let capacity_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitset: capacity mismatch")
+    (fun () -> ignore (Bitset.inter (Bitset.create 10) (Bitset.create 11)))
+
+(* Model-based property: a random sequence of operations agrees with a
+   sorted-list model. *)
+let model_prop =
+  QCheck.Test.make ~count:200 ~name:"bitset agrees with list model"
+    QCheck.(pair (small_list (int_bound 63)) (small_list (int_bound 63)))
+    (fun (xs, ys) ->
+      let cap = 64 in
+      let a = Bitset.of_list cap xs and b = Bitset.of_list cap ys in
+      let mx = List.sort_uniq compare xs and my = List.sort_uniq compare ys in
+      let inter = List.filter (fun x -> List.mem x my) mx in
+      let union = List.sort_uniq compare (mx @ my) in
+      Bitset.to_list (Bitset.inter a b) = inter
+      && Bitset.to_list (Bitset.union a b) = union
+      && Bitset.cardinal a = List.length mx
+      && Bitset.subset a b = List.for_all (fun x -> List.mem x my) mx
+      && Bitset.equal a b = (mx = my)
+      && Bitset.min_elt a = (match mx with [] -> None | x :: _ -> Some x))
+
+let suite =
+  [
+    case "basic set/clear/mem" basic;
+    case "bounds checking" bounds;
+    case "set operations" set_ops;
+    case "min/max element" min_max;
+    case "in-place operations" in_place;
+    case "capacity mismatch" capacity_mismatch;
+    Helpers.qcheck model_prop;
+  ]

@@ -1,0 +1,64 @@
+open Minup_lattice
+
+let case = Helpers.case
+
+(* An adversarial lattice module with a broken lub, to show the law checker
+   actually catches violations. *)
+module Broken_lub : Lattice_intf.S with type t = Total.t and type level = int =
+struct
+  include Total
+
+  let lub t a b = if a = 1 && b = 2 then top t else max a b
+end
+
+module Broken_covers : Lattice_intf.S with type t = Total.t and type level = int =
+struct
+  include Total
+
+  let covers_below _ l = if l = 0 then [] else [ 0 ]
+end
+
+let catches_broken_lub () =
+  let module Laws = Check.Laws (Broken_lub) in
+  match Laws.check (Total.anonymous 4) with
+  | Error msg ->
+      Alcotest.(check bool) "mentions lub" true
+        (String.length msg > 0
+        &&
+        let lower = String.lowercase_ascii msg in
+        String.length lower >= 3)
+  | Ok () -> Alcotest.fail "law checker missed a broken lub"
+
+let catches_broken_covers () =
+  let module Laws = Check.Laws (Broken_covers) in
+  match Laws.check (Total.anonymous 4) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "law checker missed non-immediate covers"
+
+let catches_wrong_height () =
+  let module Broken_height :
+    Lattice_intf.S with type t = Total.t and type level = int = struct
+    include Total
+
+    let height t = cardinal t (* off by one *)
+  end in
+  let module Laws = Check.Laws (Broken_height) in
+  match Laws.check (Total.anonymous 3) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "law checker missed a wrong height"
+
+let size_guard () =
+  let module Laws = Check.Laws (Powerset) in
+  match Laws.check ~max_size:8 (Powerset.create [ "a"; "b"; "c"; "d" ]) with
+  | Error msg ->
+      Alcotest.(check bool) "guarded" true
+        (String.length msg > 0)
+  | Ok () -> Alcotest.fail "size guard did not trip"
+
+let suite =
+  [
+    case "catches broken lub" catches_broken_lub;
+    case "catches broken covers" catches_broken_covers;
+    case "catches wrong height" catches_wrong_height;
+    case "size guard" size_guard;
+  ]

@@ -1,0 +1,87 @@
+open Minup_lattice
+
+let case = Helpers.case
+let fig1a = Compartment.fig1a
+let mk cls cats = Compartment.make_exn fig1a ~cls ~cats
+
+let ct =
+  Alcotest.testable (Compartment.pp_level fig1a) (Compartment.equal fig1a)
+
+let fig1a_structure () =
+  (* Fig. 1(a): ⟨TS,{Army,Nuclear}⟩ dominates everything; ⟨S,{Army}⟩ and
+     ⟨TS,{Nuclear}⟩ are incomparable; etc. *)
+  Alcotest.(check int) "8 classes"
+    (Option.get (Compartment.size fig1a))
+    8;
+  Alcotest.(check int) "height" 3 (Compartment.height fig1a);
+  let s_army = mk "S" [ "Army" ] and ts_nuc = mk "TS" [ "Nuclear" ] in
+  Alcotest.(check bool) "incomparable 1" false (Compartment.leq fig1a s_army ts_nuc);
+  Alcotest.(check bool) "incomparable 2" false (Compartment.leq fig1a ts_nuc s_army);
+  Alcotest.check ct "lub" (mk "TS" [ "Army"; "Nuclear" ])
+    (Compartment.lub fig1a s_army ts_nuc);
+  Alcotest.check ct "glb" (mk "S" []) (Compartment.glb fig1a s_army ts_nuc);
+  Alcotest.(check bool) "S{} ⊑ TS{Army}" true
+    (Compartment.leq fig1a (mk "S" []) (mk "TS" [ "Army" ]));
+  Alcotest.check ct "top" (mk "TS" [ "Army"; "Nuclear" ]) (Compartment.top fig1a);
+  Alcotest.check ct "bottom" (mk "S" []) (Compartment.bottom fig1a)
+
+let covers () =
+  let l = mk "TS" [ "Army" ] in
+  Alcotest.(check (list ct)) "covers"
+    [ mk "S" [ "Army" ]; mk "TS" [] ]
+    (Compartment.covers_below fig1a l);
+  Alcotest.(check (list ct)) "covers of bottom" []
+    (Compartment.covers_below fig1a (Compartment.bottom fig1a))
+
+let strings () =
+  let l = mk "TS" [ "Army"; "Nuclear" ] in
+  Alcotest.(check string) "to_string" "TS:{Army,Nuclear}"
+    (Compartment.level_to_string fig1a l);
+  Alcotest.(check (option ct)) "roundtrip" (Some l)
+    (Compartment.level_of_string fig1a "TS:{Army,Nuclear}");
+  Alcotest.(check (option ct)) "bare classification" (Some (mk "S" []))
+    (Compartment.level_of_string fig1a "S");
+  Alcotest.(check (option ct)) "bad" None (Compartment.level_of_string fig1a "X:{Army}")
+
+let laws () =
+  let module Laws = Check.Laws (Compartment) in
+  (match Laws.check fig1a with Ok () -> () | Error m -> Alcotest.fail m);
+  match Laws.check ~max_size:64 (Compartment.dod ~n_categories:4) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let dod () =
+  (* One OCaml int covers 62 of the 64 categories the DoD standard allows;
+     the full standard would take a second word. *)
+  let d = Compartment.dod ~n_categories:62 in
+  Alcotest.(check int) "classifications" 4 (Compartment.n_classifications d);
+  Alcotest.(check int) "categories" 62 (Compartment.n_categories d);
+  Alcotest.check_raises "63 rejected"
+    (Invalid_argument "Powerset.create: more than 62 elements") (fun () ->
+      ignore (Compartment.dod ~n_categories:63))
+
+let residual_least_prop =
+  QCheck.Test.make ~count:300
+    ~name:"compartment residual is least sufficient level (footnote 4)"
+    QCheck.(pair (pair (int_bound 1) (int_bound 3)) (pair (int_bound 1) (int_bound 3)))
+    (fun ((c1, m1), (c2, m2)) ->
+      let target = Compartment.{ cls = c1; cats = m1 } in
+      let others = Compartment.{ cls = c2; cats = m2 } in
+      let r = Compartment.residual fig1a ~target ~others in
+      Compartment.leq fig1a target (Compartment.lub fig1a r others)
+      && Seq.for_all
+           (fun m' ->
+             if Compartment.leq fig1a target (Compartment.lub fig1a m' others)
+             then Compartment.leq fig1a r m'
+             else true)
+           (Compartment.levels fig1a))
+
+let suite =
+  [
+    case "Fig. 1(a) structure" fig1a_structure;
+    case "covers" covers;
+    case "string round-trips" strings;
+    case "lattice laws" laws;
+    case "DoD shape" dod;
+    Helpers.qcheck residual_least_prop;
+  ]

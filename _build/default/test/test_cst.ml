@@ -1,0 +1,72 @@
+module Cst = Minup_constraints.Cst
+
+let case = Helpers.case
+
+let make_validation () =
+  (match Cst.make ~lhs:[] ~rhs:(Cst.Level 0) with
+  | Error Cst.Empty_lhs -> ()
+  | _ -> Alcotest.fail "accepted empty lhs");
+  (match Cst.make ~lhs:[ "a"; "b"; "a" ] ~rhs:(Cst.Level 0) with
+  | Error (Cst.Duplicate_lhs "a") -> ()
+  | _ -> Alcotest.fail "accepted duplicate lhs");
+  match Cst.make ~lhs:[ "a"; "b" ] ~rhs:(Cst.Attr "c") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "rejected valid constraint"
+
+let classify () =
+  let simple = Cst.simple "a" (Cst.Level 3) in
+  let complex = Cst.make_exn ~lhs:[ "a"; "b" ] ~rhs:(Cst.Attr "c") in
+  Alcotest.(check bool) "simple" true (Cst.is_simple simple);
+  Alcotest.(check bool) "not complex" false (Cst.is_complex simple);
+  Alcotest.(check bool) "complex" true (Cst.is_complex complex);
+  Alcotest.(check int) "size simple" 2 (Cst.size simple);
+  Alcotest.(check int) "size complex" 3 (Cst.size complex)
+
+let trivial () =
+  let t = Cst.make_exn ~lhs:[ "a"; "b" ] ~rhs:(Cst.Attr "a") in
+  Alcotest.(check bool) "trivial" true (Cst.is_trivial t);
+  Alcotest.(check bool) "level rhs never trivial" false
+    (Cst.is_trivial (Cst.simple "a" (Cst.Level 0)));
+  Alcotest.(check bool) "distinct attr not trivial" false
+    (Cst.is_trivial (Cst.simple "a" (Cst.Attr "b")))
+
+let attrs () =
+  Alcotest.(check (list string)) "attrs with rhs" [ "a"; "b"; "c" ]
+    (Cst.attrs (Cst.make_exn ~lhs:[ "a"; "b" ] ~rhs:(Cst.Attr "c")));
+  Alcotest.(check (list string)) "level rhs" [ "a" ]
+    (Cst.attrs (Cst.simple "a" (Cst.Level 9)))
+
+let map_level () =
+  let c = Cst.simple "a" (Cst.Level 3) in
+  let c' = Cst.map_level string_of_int c in
+  (match c'.Cst.rhs with
+  | Cst.Level "3" -> ()
+  | _ -> Alcotest.fail "level not mapped");
+  let a = Cst.simple "a" (Cst.Attr "b") in
+  match (Cst.map_level string_of_int a).Cst.rhs with
+  | Cst.Attr "b" -> ()
+  | _ -> Alcotest.fail "attr rhs altered"
+
+let pp () =
+  let s =
+    Format.asprintf "%a"
+      (Cst.pp (fun ppf l -> Format.pp_print_int ppf l))
+      (Cst.make_exn ~lhs:[ "a"; "b" ] ~rhs:(Cst.Level 4))
+  in
+  Alcotest.(check string) "render" "lub{λ(a), λ(b)} ⊒ 4" s;
+  let s2 =
+    Format.asprintf "%a"
+      (Cst.pp (fun ppf l -> Format.pp_print_int ppf l))
+      (Cst.simple "x" (Cst.Attr "y"))
+  in
+  Alcotest.(check string) "render simple" "λ(x) ⊒ λ(y)" s2
+
+let suite =
+  [
+    case "make validation" make_validation;
+    case "simple/complex classification" classify;
+    case "trivial detection" trivial;
+    case "mentioned attributes" attrs;
+    case "map_level" map_level;
+    case "pretty printing" pp;
+  ]

@@ -1,0 +1,47 @@
+open Minup_lattice
+
+let case = Helpers.case
+
+let fig1b () =
+  let enc = Encode.of_explicit Helpers.fig1b in
+  Alcotest.(check bool) "few chains" true (Encode.n_chains enc <= 3);
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "leq %s %s" (Explicit.name Helpers.fig1b a)
+               (Explicit.name Helpers.fig1b b))
+            (Explicit.leq Helpers.fig1b a b)
+            (Encode.leq enc a b))
+        (Explicit.all Helpers.fig1b))
+    (Explicit.all Helpers.fig1b)
+
+let chain_single () =
+  let c = Explicit.chain [ "a"; "b"; "c"; "d" ] in
+  let enc = Encode.of_explicit c in
+  Alcotest.(check int) "one chain" 1 (Encode.n_chains enc)
+
+let agree_prop =
+  QCheck.Test.make ~count:60
+    ~name:"chain encoding agrees with explicit dominance" Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let lat =
+        Minup_workload.Gen_lattice.random_closure_exn rng ~universe:6
+          ~n_generators:5 ~max_size:40
+      in
+      let enc = Encode.of_explicit lat in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b -> Encode.leq enc a b = Explicit.leq lat a b)
+            (Explicit.all lat))
+        (Explicit.all lat))
+
+let suite =
+  [
+    case "Fig. 1(b) encoding" fig1b;
+    case "chains collapse to one" chain_single;
+    Helpers.qcheck agree_prop;
+  ]

@@ -1,0 +1,132 @@
+open Minup_lattice
+open Helpers
+module Explain = Minup_core.Explain.Make (Explicit)
+module Cst = Minup_constraints.Cst
+
+let case = Helpers.case
+
+let fig2_problem () =
+  S.compile_exn ~lattice:fig1b ~attrs:Minup_core.Paper.fig2_attrs
+    Minup_core.Paper.fig2_constraints
+
+let direct_binding () =
+  let p = fig2_problem () in
+  let sol = S.solve p in
+  (* F = L4; lowering to L3 violates its basic floor F ⊒ L2 (L3 ⋣ L2),
+     lowering to L2 breaks the cycle at M's floor. *)
+  let blocked = Explain.binding_constraints p sol.S.levels "F" in
+  Alcotest.(check int) "two covers" 2 (List.length blocked);
+  List.iter
+    (fun { Explain.to_level; reason } ->
+      match (Explicit.level_to_string fig1b to_level, reason) with
+      | "L3", Explain.Direct c ->
+          Alcotest.(check string) "floor binds" "λ(F) ⊒ L2"
+            (Format.asprintf "%a" (Cst.pp (Explicit.pp_level fig1b)) c)
+      | "L2", (Explain.Direct _ | Explain.Propagated _) -> ()
+      | l, Explain.At_bottom -> Alcotest.failf "unexpected At_bottom at %s" l
+      | l, _ -> Alcotest.failf "unexpected cover %s" l)
+    blocked
+
+let cycle_binding () =
+  let p = fig2_problem () in
+  let sol = S.solve p in
+  (* O = L5 is held only through its simple cycle with N and I, which is
+     pinned by I's role in lub{F,I} ⊒ B — lowering O must fail through the
+     cycle. *)
+  let blocked = Explain.binding_constraints p sol.S.levels "O" in
+  Alcotest.(check bool) "has entries" true (blocked <> []);
+  List.iter
+    (fun { Explain.reason; _ } ->
+      match reason with
+      | Explain.Propagated _ -> ()
+      | Explain.Direct _ -> ()
+      | Explain.At_bottom -> Alcotest.fail "O reported lowerable")
+    blocked
+
+let at_bottom_empty () =
+  let p = fig2_problem () in
+  let sol = S.solve p in
+  (* E = L1 = ⊥: no covers below, nothing holds it up. *)
+  Alcotest.(check int) "no entries for bottom" 0
+    (List.length (Explain.binding_constraints p sol.S.levels "E"))
+
+let detects_overclassification () =
+  let p = S.compile_exn ~lattice:fig1b [ level_cst "a" "L2" ] in
+  Alcotest.(check bool) "L6 detected as non-minimal" false
+    (Explain.is_locally_minimal p [| lvl "L6" |]);
+  Alcotest.(check bool) "L2 locally minimal" true
+    (Explain.is_locally_minimal p [| lvl "L2" |])
+
+let detects_joint_lowering () =
+  (* The cycle a=b at L3 can only be lowered jointly — the replay must
+     find it. *)
+  let p = S.compile_exn ~lattice:fig1b [ attr_cst "a" "b"; attr_cst "b" "a" ] in
+  Alcotest.(check bool) "joint lowering detected" false
+    (Explain.is_locally_minimal p [| lvl "L3"; lvl "L3" |])
+
+let report_renders () =
+  let p = fig2_problem () in
+  let sol = S.solve p in
+  let r = Explain.report p sol.S.levels in
+  let contains needle =
+    let n = String.length needle and h = String.length r in
+    let rec go i = i + n <= h && (String.sub r i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions F" true (contains "F = L4");
+  Alcotest.(check bool) "mentions a binding constraint" true
+    (contains "cannot lower");
+  Alcotest.(check bool) "no non-minimal flags" false (contains "non-minimal")
+
+(* Exact agreement with the oracle: on every satisfying assignment of
+   small random instances, the polynomial replay check and the exhaustive
+   enumeration agree. *)
+let exact_agreement =
+  QCheck.Test.make ~count:50
+    ~name:"replay minimality check = exhaustive oracle" Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let lat =
+        Minup_workload.Gen_lattice.random_closure_exn rng ~universe:3
+          ~n_generators:3 ~max_size:8
+      in
+      let spec =
+        Minup_workload.Gen_constraints.
+          {
+            n_attrs = 4;
+            n_simple = 3;
+            n_complex = 2;
+            max_lhs = 3;
+            n_constants = 2;
+            constants = Explicit.all lat;
+          }
+      in
+      let attrs, csts =
+        if Minup_workload.Prng.bool rng then
+          Minup_workload.Gen_constraints.acyclic rng spec
+        else Minup_workload.Gen_constraints.single_scc rng spec
+      in
+      let p = S.compile_exn ~lattice:lat ~attrs csts in
+      match V.all_solutions ~cap:100_000 p with
+      | Error `Too_large -> true
+      | Ok sols ->
+          let minimal = V.minimal_among lat sols in
+          let is_min s =
+            List.exists (fun m -> V.equal_assignment lat m s) minimal
+          in
+          (* Sample at most 40 solutions to keep the case cheap. *)
+          let sampled = List.filteri (fun i _ -> i mod 7 = 0 || i < 20) sols in
+          List.for_all
+            (fun s -> Explain.is_locally_minimal p s = is_min s)
+            sampled)
+
+let suite =
+  [
+    case "direct binding constraint" direct_binding;
+    case "cycle binding constraint" cycle_binding;
+    case "bottom has no bindings" at_bottom_empty;
+    case "detects overclassification" detects_overclassification;
+    case "detects joint lowering" detects_joint_lowering;
+    case "report rendering" report_renders;
+    Helpers.qcheck exact_agreement;
+  ]

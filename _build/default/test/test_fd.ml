@@ -1,0 +1,88 @@
+open Minup_mls
+
+let case = Helpers.case
+
+let fd lhs rhs = Fd.make ~lhs ~rhs
+
+let closure () =
+  let fds = [ fd [ "a" ] [ "b" ]; fd [ "b" ] [ "c" ]; fd [ "c"; "d" ] [ "e" ] ] in
+  Alcotest.(check (list string)) "a+" [ "a"; "b"; "c" ] (Fd.closure fds [ "a" ]);
+  Alcotest.(check (list string)) "ad+" [ "a"; "b"; "c"; "d"; "e" ]
+    (Fd.closure fds [ "a"; "d" ]);
+  Alcotest.(check (list string)) "d+" [ "d" ] (Fd.closure fds [ "d" ])
+
+let implication () =
+  let fds = [ fd [ "a" ] [ "b" ]; fd [ "b" ] [ "c" ] ] in
+  Alcotest.(check bool) "transitivity" true (Fd.implies fds (fd [ "a" ] [ "c" ]));
+  Alcotest.(check bool) "augment" true (Fd.implies fds (fd [ "a"; "z" ] [ "c" ]));
+  Alcotest.(check bool) "not implied" false (Fd.implies fds (fd [ "c" ] [ "a" ]))
+
+let keys () =
+  (* Classic: R(a,b,c,d) with a→b, b→c: key is {a,d}. *)
+  let attrs = [ "a"; "b"; "c"; "d" ] in
+  let fds = [ fd [ "a" ] [ "b" ]; fd [ "b" ] [ "c" ] ] in
+  Alcotest.(check (list (list string))) "single key" [ [ "a"; "d" ] ]
+    (Fd.candidate_keys ~attrs fds);
+  (* Two keys: a→b and b→a make {a,c} and {b,c} both keys of R(a,b,c). *)
+  let fds2 = [ fd [ "a" ] [ "b" ]; fd [ "b" ] [ "a" ] ] in
+  Alcotest.(check (list (list string)))
+    "two keys"
+    [ [ "a"; "c" ]; [ "b"; "c" ] ]
+    (List.sort compare (Fd.candidate_keys ~attrs:[ "a"; "b"; "c" ] fds2))
+
+let is_key () =
+  let attrs = [ "a"; "b"; "c" ] in
+  let fds = [ fd [ "a" ] [ "b"; "c" ] ] in
+  Alcotest.(check bool) "a is key" true (Fd.is_key ~attrs fds [ "a" ]);
+  Alcotest.(check bool) "b is not" false (Fd.is_key ~attrs fds [ "b" ])
+
+let minimal_cover () =
+  (* a→bc splits; a→b, b→c, a→c: a→c is redundant. *)
+  let fds = [ fd [ "a" ] [ "b"; "c" ]; fd [ "b" ] [ "c" ] ] in
+  let cover = Fd.minimal_cover fds in
+  Alcotest.(check int) "two dependencies" 2 (List.length cover);
+  List.iter
+    (fun (f : Fd.t) ->
+      Alcotest.(check int) "singleton rhs" 1 (List.length f.Fd.rhs))
+    cover;
+  (* Extraneous lhs attribute removed: ab→c with a→c reduces to a→c. *)
+  let cover2 = Fd.minimal_cover [ fd [ "a"; "b" ] [ "c" ]; fd [ "a" ] [ "c" ] ] in
+  Alcotest.(check int) "one dependency" 1 (List.length cover2);
+  match cover2 with
+  | [ f ] -> Alcotest.(check (list string)) "reduced lhs" [ "a" ] f.Fd.lhs
+  | _ -> Alcotest.fail "expected singleton cover"
+
+let cover_equivalent_prop =
+  QCheck.Test.make ~count:100 ~name:"minimal cover is equivalent"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let attrs = [ "a"; "b"; "c"; "d" ] in
+      let random_fd () =
+        let pick () = Minup_workload.Prng.sample rng (1 + Minup_workload.Prng.int rng 2) attrs in
+        Fd.make ~lhs:(pick ()) ~rhs:(pick ())
+      in
+      let fds = List.init (2 + Minup_workload.Prng.int rng 4) (fun _ -> random_fd ()) in
+      let cover = Fd.minimal_cover fds in
+      List.for_all (Fd.implies cover) (List.filter (fun (f : Fd.t) ->
+          not (List.for_all (fun r -> List.mem r f.Fd.lhs) f.Fd.rhs)) fds)
+      && List.for_all (Fd.implies fds) cover)
+
+let validation () =
+  Alcotest.check_raises "empty lhs" (Invalid_argument "Fd.make: empty side")
+    (fun () -> ignore (Fd.make ~lhs:[] ~rhs:[ "a" ]));
+  Alcotest.check_raises "key guard"
+    (Invalid_argument "Fd.candidate_keys: more than 16 attributes") (fun () ->
+      ignore
+        (Fd.candidate_keys ~attrs:(List.init 17 string_of_int) []))
+
+let suite =
+  [
+    case "attribute closure" closure;
+    case "implication" implication;
+    case "candidate keys" keys;
+    case "is_key" is_key;
+    case "minimal cover" minimal_cover;
+    Helpers.qcheck cover_equivalent_prop;
+    case "validation" validation;
+  ]

@@ -1,0 +1,33 @@
+module Graphviz = Minup_constraints.Graphviz
+module Problem = Minup_constraints.Problem
+
+let case = Helpers.case
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let fig2 () =
+  let p =
+    Problem.compile_exn ~attrs:Minup_core.Paper.fig2_attrs
+      Minup_core.Paper.fig2_constraints
+  in
+  let dot =
+    Graphviz.render ~pp_level:(Minup_lattice.Explicit.pp_level Helpers.fig1b) p
+  in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph");
+  (* 11 circle attribute nodes. *)
+  let count needle =
+    List.length
+      (List.filter (fun l -> contains l needle) (String.split_on_char '\n' dot))
+  in
+  Alcotest.(check int) "11 attr nodes" 11 (count "shape=circle");
+  (* Level constants L1..L5 deduplicated: 5 box nodes. *)
+  Alcotest.(check int) "5 level nodes" 5 (count "shape=box");
+  (* 3 hypernodes for the 3 complex constraints. *)
+  Alcotest.(check int) "3 hypernodes" 3 (count "shape=point");
+  (* Hypernode member edges are dashed; 2 members each. *)
+  Alcotest.(check int) "6 member edges" 6 (count "style=dashed")
+
+let suite = [ case "Fig. 2(a) rendering" fig2 ]

@@ -1,0 +1,75 @@
+open Minup_lattice
+
+let case = Helpers.case
+
+(* The diamond as raw order pairs plus a redundant transitive edge. *)
+let diamond_edges = [ (0, 1); (0, 2); (1, 3); (2, 3); (0, 3) ]
+
+let closure () =
+  let up = Hasse.transitive_closure 4 diamond_edges in
+  Alcotest.(check (list int)) "up 0" [ 0; 1; 2; 3 ] (Bitset.to_list up.(0));
+  Alcotest.(check (list int)) "up 1" [ 1; 3 ] (Bitset.to_list up.(1));
+  Alcotest.(check (list int)) "up 3" [ 3 ] (Bitset.to_list up.(3))
+
+let reduction () =
+  Alcotest.(check (list (pair int int)))
+    "diamond reduction"
+    [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+    (Hasse.transitive_reduction 4 diamond_edges);
+  (* A chain given as its full closure reduces to covers. *)
+  Alcotest.(check (list (pair int int)))
+    "chain reduction"
+    [ (0, 1); (1, 2) ]
+    (Hasse.transitive_reduction 3 [ (0, 1); (1, 2); (0, 2) ])
+
+let topo () =
+  Alcotest.(check (list int)) "diamond topo" [ 0; 1; 2; 3 ]
+    (Hasse.topological_order 4 diamond_edges);
+  Alcotest.(check (list int)) "no edges" [ 0; 1; 2 ]
+    (Hasse.topological_order 3 [])
+
+let cycles () =
+  Alcotest.(check bool) "acyclic" true (Hasse.is_acyclic 4 diamond_edges);
+  Alcotest.(check bool) "cycle" false (Hasse.is_acyclic 3 [ (0, 1); (1, 2); (2, 0) ]);
+  Alcotest.check_raises "topo on cycle"
+    (Invalid_argument "Hasse: order relation is cyclic") (fun () ->
+      ignore (Hasse.topological_order 2 [ (0, 1); (1, 0) ]))
+
+let longest () =
+  Alcotest.(check int) "diamond height" 2 (Hasse.longest_path 4 diamond_edges);
+  Alcotest.(check int) "chain height" 4
+    (Hasse.longest_path 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ]);
+  Alcotest.(check int) "antichain" 0 (Hasse.longest_path 3 [])
+
+(* Property: the reduction has the same closure as the input, and no edge
+   of the reduction is implied by the others. *)
+let reduction_prop =
+  QCheck.Test.make ~count:200 ~name:"transitive reduction preserves closure"
+    QCheck.(small_list (pair (int_bound 7) (int_bound 7)))
+    (fun pairs ->
+      let n = 8 in
+      (* Keep only upward edges to guarantee acyclicity. *)
+      let edges = List.filter_map
+          (fun (a, b) -> if a < b then Some (a, b) else if b < a then Some (b, a) else None)
+          pairs
+      in
+      let red = Hasse.transitive_reduction n edges in
+      let c1 = Hasse.transitive_closure n edges in
+      let c2 = Hasse.transitive_closure n red in
+      Array.for_all2 Bitset.equal c1 c2
+      && List.for_all
+           (fun e ->
+             let without = List.filter (fun e' -> e' <> e) red in
+             not
+               (Array.for_all2 Bitset.equal c1 (Hasse.transitive_closure n without)))
+           red)
+
+let suite =
+  [
+    case "transitive closure" closure;
+    case "transitive reduction" reduction;
+    case "topological order" topo;
+    case "cycle detection" cycles;
+    case "longest path" longest;
+    Helpers.qcheck reduction_prop;
+  ]

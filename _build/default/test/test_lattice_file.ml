@@ -1,0 +1,68 @@
+open Minup_lattice
+
+let case = Helpers.case
+
+let sample = {|
+# Figure 1(b)
+levels L1, L2, L3, L4, L5, L6
+L1 < L2
+L1 < L3
+L2 < L4
+L3 < L4
+L3 < L5
+L4 < L6
+L5 < L6
+|}
+
+let parse_ok () =
+  match Lattice_file.parse sample with
+  | Error e -> Alcotest.failf "parse: %a" Lattice_file.pp_error e
+  | Ok lat ->
+      Alcotest.(check int) "6 levels" 6 (Explicit.cardinal lat);
+      Alcotest.(check int) "height" 3 (Explicit.height lat);
+      Alcotest.(check bool) "L2 ⊑ L6" true
+        (Explicit.leq lat (Explicit.of_name_exn lat "L2") (Explicit.of_name_exn lat "L6"))
+
+let roundtrip () =
+  let lat = Helpers.fig1b in
+  match Lattice_file.parse (Lattice_file.to_string lat) with
+  | Error e -> Alcotest.failf "reparse: %a" Lattice_file.pp_error e
+  | Ok lat' ->
+      Alcotest.(check int) "same size" (Explicit.cardinal lat) (Explicit.cardinal lat');
+      List.iter
+        (fun (lo, hi) ->
+          Alcotest.(check bool) "same covers" true
+            (List.mem
+               (Explicit.name lat lo, Explicit.name lat hi)
+               (List.map
+                  (fun (a, b) -> (Explicit.name lat' a, Explicit.name lat' b))
+                  (Explicit.cover_pairs lat'))))
+        (Explicit.cover_pairs lat)
+
+let errors () =
+  (match Lattice_file.parse "levels a, b\ngarbage\n" with
+  | Error { line = 2; _ } -> ()
+  | _ -> Alcotest.fail "accepted garbage");
+  (match Lattice_file.parse "levels a, b\na < \n" with
+  | Error { line = 2; _ } -> ()
+  | _ -> Alcotest.fail "accepted malformed pair");
+  (* Not a lattice: reported with line 0 and the Explicit diagnosis. *)
+  match Lattice_file.parse "levels a, b, c\na < b\na < c\n" with
+  | Error { line = 0; message } ->
+      Alcotest.(check bool) "mentions upper bound" true (String.length message > 0)
+  | _ -> Alcotest.fail "accepted non-lattice"
+
+let semilattice () =
+  match Lattice_file.parse_semilattice "levels a, b, c\na < b\na < c\n" with
+  | Error e -> Alcotest.failf "semilattice: %a" Lattice_file.pp_error e
+  | Ok s ->
+      Alcotest.(check bool) "dummy top" true (s.Semilattice.dummy_top <> None);
+      Alcotest.(check int) "4 levels" 4 (Explicit.cardinal s.Semilattice.lattice)
+
+let suite =
+  [
+    case "parse" parse_ok;
+    case "round-trip" roundtrip;
+    case "errors" errors;
+    case "semilattice completion" semilattice;
+  ]

@@ -1,0 +1,202 @@
+(* Schema validation, constraint extraction, and level-filtered views. *)
+
+open Minup_lattice
+open Minup_mls
+module Cst = Minup_constraints.Cst
+
+let case = Helpers.case
+
+let employee_schema =
+  Schema.create_exn
+    [
+      {
+        Schema.rel_name = "emp";
+        columns = [ "id"; "name"; "dept"; "salary" ];
+        key = [ "id" ];
+      };
+      {
+        Schema.rel_name = "proj";
+        columns = [ "code"; "site"; "lead" ];
+        key = [ "code"; "site" ];
+      };
+      { Schema.rel_name = "department"; columns = [ "dname"; "floor" ]; key = [ "dname" ] };
+    ]
+    [ { Schema.from_rel = "emp"; from_cols = [ "dept" ]; to_rel = "department" } ]
+
+let schema_validation () =
+  let rel name cols key = { Schema.rel_name = name; columns = cols; key } in
+  (match Schema.create [ rel "r" [ "a" ] [ "a" ]; rel "r" [ "b" ] [ "b" ] ] [] with
+  | Error (Schema.Duplicate_relation "r") -> ()
+  | _ -> Alcotest.fail "dup relation");
+  (match Schema.create [ rel "r" [ "a"; "a" ] [ "a" ] ] [] with
+  | Error (Schema.Duplicate_column ("r", "a")) -> ()
+  | _ -> Alcotest.fail "dup column");
+  (match Schema.create [ rel "r" [ "a" ] [] ] [] with
+  | Error (Schema.Empty_key "r") -> ()
+  | _ -> Alcotest.fail "empty key");
+  (match Schema.create [ rel "r" [ "a" ] [ "z" ] ] [] with
+  | Error (Schema.Key_not_column ("r", "z")) -> ()
+  | _ -> Alcotest.fail "key not column");
+  (match
+     Schema.create
+       [ rel "r" [ "a" ] [ "a" ] ]
+       [ { Schema.from_rel = "r"; from_cols = [ "a" ]; to_rel = "zz" } ]
+   with
+  | Error (Schema.Unknown_relation "zz") -> ()
+  | _ -> Alcotest.fail "unknown relation");
+  match
+    Schema.create
+      [ rel "r" [ "a" ] [ "a" ]; rel "s" [ "x"; "y" ] [ "x"; "y" ] ]
+      [ { Schema.from_rel = "r"; from_cols = [ "a" ]; to_rel = "s" } ]
+  with
+  | Error (Schema.Fk_arity_mismatch ("r", "s")) -> ()
+  | _ -> Alcotest.fail "fk arity"
+
+let qualified_attrs () =
+  Alcotest.(check (list string)) "attrs"
+    [
+      "emp.id"; "emp.name"; "emp.dept"; "emp.salary"; "proj.code"; "proj.site";
+      "proj.lead"; "department.dname"; "department.floor";
+    ]
+    (Schema.attrs employee_schema)
+
+let integrity () =
+  let csts : int Cst.t list = Extract.integrity_constraints employee_schema in
+  (* proj's two key columns form a uniformity cycle. *)
+  let has lhs rhs =
+    List.exists
+      (fun (c : int Cst.t) -> c.Cst.lhs = lhs && c.Cst.rhs = Cst.Attr rhs)
+      csts
+  in
+  Alcotest.(check bool) "code ⊒ site" true (has [ "proj.code" ] "proj.site");
+  Alcotest.(check bool) "site ⊒ code" true (has [ "proj.site" ] "proj.code");
+  (* Non-key dominates key. *)
+  Alcotest.(check bool) "name ⊒ id" true (has [ "emp.name" ] "emp.id");
+  Alcotest.(check bool) "salary ⊒ id" true (has [ "emp.salary" ] "emp.id");
+  (* Foreign key dominates the referenced key. *)
+  Alcotest.(check bool) "dept ⊒ department.dname" true
+    (has [ "emp.dept" ] "department.dname");
+  (* Single-column key of emp gets no uniformity cycle. *)
+  Alcotest.(check bool) "no id self constraint" false (has [ "emp.id" ] "emp.id")
+
+let fd_extraction () =
+  let fds = [ ("emp", Fd.make ~lhs:[ "dept" ] ~rhs:[ "salary"; "dept" ]) ] in
+  let csts : int Cst.t list = Extract.fd_constraints employee_schema fds in
+  Alcotest.(check int) "one nontrivial" 1 (List.length csts);
+  match csts with
+  | [ c ] ->
+      Alcotest.(check (list string)) "lhs" [ "emp.dept" ] c.Cst.lhs;
+      (match c.Cst.rhs with
+      | Cst.Attr "emp.salary" -> ()
+      | _ -> Alcotest.fail "wrong rhs")
+  | _ -> Alcotest.fail "unexpected"
+
+let end_to_end () =
+  (* Extract everything, solve over Fig. 1(b), check the MLS invariants
+     hold in the resulting classification. *)
+  let lat = Helpers.fig1b in
+  let lvl = Helpers.lvl in
+  let csts =
+    Extract.all ~schema:employee_schema
+      ~fds:[ ("emp", Fd.make ~lhs:[ "dept" ] ~rhs:[ "salary" ]) ]
+      ~basic:[ ("emp.salary", lvl "L5") ]
+      ~associations:[ ([ "emp.name"; "emp.salary" ], lvl "L6") ]
+  in
+  let p = Helpers.S.compile_exn ~lattice:lat csts in
+  let sol = Helpers.S.solve p in
+  Alcotest.(check bool) "satisfies" true (Helpers.S.satisfies p sol.Helpers.S.levels);
+  let l a = Option.get (Helpers.S.find p sol a) in
+  (* Key uniformity. *)
+  Alcotest.check (Helpers.level_t lat) "uniform proj key" (l "proj.code")
+    (l "proj.site");
+  (* Non-key dominates key. *)
+  Alcotest.(check bool) "salary ⊒ id" true (Explicit.leq lat (l "emp.id") (l "emp.salary"));
+  (* FD inference: dept alone must reach salary. *)
+  Alcotest.(check bool) "dept ⊒ salary" true
+    (Explicit.leq lat (l "emp.salary") (l "emp.dept"));
+  (* Association: the pair reaches L6. *)
+  Alcotest.(check bool) "association" true
+    (Explicit.leq lat (lvl "L6") (Explicit.lub lat (l "emp.name") (l "emp.salary")))
+
+let views () =
+  let table =
+    Instance.make_exn ~relation:"emp"
+      ~columns:[ "id"; "name"; "salary" ]
+      [ [ "1"; "alice"; "90k" ]; [ "2"; "bob"; "80k" ] ]
+  in
+  let readable = function
+    | "emp.salary" -> false
+    | _ -> true
+  in
+  let v = Instance.view_at ~readable table in
+  Alcotest.(check bool) "salary hidden" false v.Instance.visible.(2);
+  Alcotest.(check bool) "name visible" true v.Instance.visible.(1);
+  (match v.Instance.rows with
+  | [ r1; _ ] ->
+      Alcotest.(check (option string)) "cell masked" None r1.(2);
+      Alcotest.(check (option string)) "cell visible" (Some "alice") r1.(1)
+  | _ -> Alcotest.fail "rows");
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let rendered = Instance.render v in
+  Alcotest.(check bool) "*** in render" true (contains rendered "***")
+
+let arity_check () =
+  match Instance.make ~relation:"r" ~columns:[ "a"; "b" ] [ [ "1" ] ] with
+  | Error (Instance.Arity_mismatch { row = 0; expected = 2; got = 1 }) -> ()
+  | _ -> Alcotest.fail "accepted ragged row"
+
+
+let classified_rows () =
+  let lat = Helpers.fig1b in
+  let lvl = Helpers.lvl in
+  let t =
+    Instance.make_classified_exn ~relation:"mission"
+      ~columns:[ "code"; "target" ]
+      [
+        (lvl "L2", [ "m1"; "alpha" ]);
+        (lvl "L5", [ "m2"; "bravo" ]);
+        (lvl "L1", [ "m3"; "charlie" ]);
+      ]
+  in
+  let clearance = lvl "L2" in
+  let v =
+    Instance.view_classified
+      ~row_visible:(fun l -> Explicit.leq lat l clearance)
+      ~readable:(fun _ -> true)
+      t
+  in
+  (* L2 and L1 rows visible; L5 row dropped. *)
+  Alcotest.(check int) "two rows" 2 (List.length v.Instance.rows);
+  let top_view =
+    Instance.view_classified
+      ~row_visible:(fun l -> Explicit.leq lat l (lvl "L6"))
+      ~readable:(fun c -> c <> "mission.target")
+      t
+  in
+  Alcotest.(check int) "all rows at top" 3 (List.length top_view.Instance.rows);
+  Alcotest.(check bool) "target masked" false top_view.Instance.visible.(1)
+
+let classified_arity () =
+  match
+    Instance.make_classified ~relation:"r" ~columns:[ "a"; "b" ]
+      [ (0, [ "1" ]) ]
+  with
+  | Error (Instance.Arity_mismatch _) -> ()
+  | _ -> Alcotest.fail "accepted ragged classified row"
+
+let suite =
+  [
+    case "schema validation" schema_validation;
+    case "qualified attributes" qualified_attrs;
+    case "integrity constraints" integrity;
+    case "FD inference constraints" fd_extraction;
+    case "end-to-end classification" end_to_end;
+    case "level-filtered views" views;
+    case "arity check" arity_check;
+    case "row-classified views" classified_rows;
+    case "classified arity check" classified_arity;
+  ]

@@ -1,0 +1,155 @@
+open Minup_lattice
+module Cst = Minup_constraints.Cst
+module Parse = Minup_constraints.Parse
+
+let case = Helpers.case
+
+let sample =
+  {|
+# employee classification policy
+attrs name, salary
+
+salary >= Confidential
+{name, salary} >= Secret        # association
+lub{rank, department} >= salary # inference, lub keyword optional
+name <= Secret
+|}
+
+let ladder = Total.create [ "Unclassified"; "Confidential"; "Secret"; "TopSecret" ]
+
+let parse_ok () =
+  match Parse.parse sample with
+  | Error e -> Alcotest.failf "parse error: %a" Parse.pp_error e
+  | Ok ast ->
+      Alcotest.(check (list string)) "decls" [ "name"; "salary" ] ast.Parse.decls;
+      Alcotest.(check int) "3 lowers" 3 (List.length ast.Parse.lowers);
+      Alcotest.(check (list (pair string string)))
+        "uppers"
+        [ ("name", "Secret") ]
+        ast.Parse.uppers;
+      let lhss = List.map fst ast.Parse.lowers in
+      Alcotest.(check (list (list string)))
+        "lhss"
+        [ [ "salary" ]; [ "name"; "salary" ]; [ "rank"; "department" ] ]
+        lhss
+
+let resolve_ok () =
+  match Parse.parse_resolve ~level_of_string:(Total.level_of_string ladder) sample with
+  | Error e -> Alcotest.failf "resolve error: %a" Parse.pp_error e
+  | Ok r ->
+      Alcotest.(check (list string)) "attrs"
+        [ "name"; "salary"; "rank"; "department" ]
+        r.Parse.attrs;
+      (* salary >= Confidential resolves to a level; the inference rhs
+         resolves to the declared attribute salary even though no level
+         named salary exists. *)
+      (match (List.nth r.Parse.csts 0).Cst.rhs with
+      | Cst.Level l -> Alcotest.(check int) "level" 1 l
+      | Cst.Attr _ -> Alcotest.fail "expected level rhs");
+      (match (List.nth r.Parse.csts 2).Cst.rhs with
+      | Cst.Attr "salary" -> ()
+      | _ -> Alcotest.fail "expected attr rhs");
+      Alcotest.(check int) "upper bound" 2 (snd (List.hd r.Parse.upper_bounds))
+
+let attr_shadows_level () =
+  (* A declared attribute named like a level wins. *)
+  let text = "attrs Secret\nSecret >= TopSecret\nother >= Secret\n" in
+  match Parse.parse_resolve ~level_of_string:(Total.level_of_string ladder) text with
+  | Error e -> Alcotest.failf "error: %a" Parse.pp_error e
+  | Ok r -> (
+      match (List.nth r.Parse.csts 1).Cst.rhs with
+      | Cst.Attr "Secret" -> ()
+      | _ -> Alcotest.fail "declared attribute should shadow the level")
+
+let compartment_rhs () =
+  let text = "cargo >= TS:{Army,Nuclear}\n" in
+  let lat = Compartment.fig1a in
+  match
+    Parse.parse_resolve ~level_of_string:(Compartment.level_of_string lat) text
+  with
+  | Error e -> Alcotest.failf "error: %a" Parse.pp_error e
+  | Ok r -> (
+      match (List.hd r.Parse.csts).Cst.rhs with
+      | Cst.Level l ->
+          Alcotest.(check string) "level" "TS:{Army,Nuclear}"
+            (Compartment.level_to_string lat l)
+      | Cst.Attr _ -> Alcotest.fail "expected level")
+
+let errors () =
+  (match Parse.parse "salary >=\n" with
+  | Error { line = 1; _ } -> ()
+  | _ -> Alcotest.fail "accepted empty rhs");
+  (match Parse.parse "x\n{a,b} >= c\ngarbage line here\n" with
+  | Error { line = 1; _ } -> ()
+  | _ -> Alcotest.fail "accepted garbage");
+  (match Parse.parse "{a, b} <= Secret\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted multi-attr upper bound");
+  (match Parse.parse "{a,, b} >= c\n" with
+  (* empty entries are skipped; this parses *)
+  | Ok ast -> Alcotest.(check int) "lhs size" 2 (List.length (fst (List.hd ast.Parse.lowers)))
+  | Error _ -> Alcotest.fail "comma tolerance");
+  match
+    Parse.parse_resolve ~level_of_string:(Total.level_of_string ladder)
+      "a <= NotALevel\n"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown upper bound level"
+
+let comments_and_blanks () =
+  match Parse.parse "\n  \n# only comments\n" with
+  | Ok ast ->
+      Alcotest.(check int) "no constraints" 0 (List.length ast.Parse.lowers)
+  | Error e -> Alcotest.failf "error: %a" Parse.pp_error e
+
+
+(* render ∘ parse_resolve round-trips policies, including compartmented
+   level syntax on the right-hand side. *)
+let render_roundtrip =
+  QCheck.Test.make ~count:60 ~name:"render/parse_resolve round-trip"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let lat = Compartment.fig1a in
+      let spec =
+        Minup_workload.Gen_constraints.
+          {
+            n_attrs = 6;
+            n_simple = 4;
+            n_complex = 3;
+            max_lhs = 3;
+            n_constants = 3;
+            constants = List.of_seq (Compartment.levels lat);
+          }
+      in
+      let attrs, csts = Minup_workload.Gen_constraints.acyclic rng spec in
+      let r = Parse.{ attrs; csts; upper_bounds = [ (List.hd attrs, Compartment.top lat) ] } in
+      let text = Parse.render ~level_to_string:(Compartment.level_to_string lat) r in
+      match
+        Parse.parse_resolve ~level_of_string:(Compartment.level_of_string lat) text
+      with
+      | Error _ -> false
+      | Ok r' ->
+          r'.Parse.attrs = r.Parse.attrs
+          && List.length r'.Parse.csts = List.length r.Parse.csts
+          && List.for_all2
+               (fun (a : _ Cst.t) (b : _ Cst.t) ->
+                 a.Cst.lhs = b.Cst.lhs
+                 &&
+                 match (a.Cst.rhs, b.Cst.rhs) with
+                 | Cst.Attr x, Cst.Attr y -> x = y
+                 | Cst.Level x, Cst.Level y -> Compartment.equal lat x y
+                 | _ -> false)
+               r.Parse.csts r'.Parse.csts
+          && List.length r'.Parse.upper_bounds = 1)
+
+let suite =
+  [
+    case "parse" parse_ok;
+    case "resolve" resolve_ok;
+    case "attribute shadows level" attr_shadows_level;
+    case "compartmented level rhs" compartment_rhs;
+    case "errors" errors;
+    case "comments and blanks" comments_and_blanks;
+    Helpers.qcheck render_roundtrip;
+  ]

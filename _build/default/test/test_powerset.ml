@@ -1,0 +1,57 @@
+open Minup_lattice
+
+let case = Helpers.case
+let ps = Powerset.create [ "a"; "b"; "c" ]
+
+let structure () =
+  Alcotest.(check int) "arity" 3 (Powerset.arity ps);
+  Alcotest.(check int) "height" 3 (Powerset.height ps);
+  Alcotest.(check int) "top" 7 (Powerset.top ps);
+  Alcotest.(check int) "bottom" 0 (Powerset.bottom ps);
+  let ab = Powerset.of_elements_exn ps [ "a"; "b" ] in
+  let bc = Powerset.of_elements_exn ps [ "b"; "c" ] in
+  Alcotest.(check int) "lub=union" (Powerset.top ps) (Powerset.lub ps ab bc);
+  Alcotest.(check int) "glb=inter"
+    (Powerset.of_elements_exn ps [ "b" ])
+    (Powerset.glb ps ab bc);
+  Alcotest.(check bool) "subset" true
+    (Powerset.leq ps (Powerset.of_elements_exn ps [ "b" ]) ab);
+  Alcotest.(check (list int)) "covers of {a,b}"
+    [ Powerset.of_elements_exn ps [ "b" ]; Powerset.of_elements_exn ps [ "a" ] ]
+    (Powerset.covers_below ps ab)
+
+let strings () =
+  let ab = Powerset.of_elements_exn ps [ "a"; "b" ] in
+  Alcotest.(check string) "to_string" "{a,b}" (Powerset.level_to_string ps ab);
+  Alcotest.(check (option int)) "parse" (Some ab)
+    (Powerset.level_of_string ps "{ a , b }");
+  Alcotest.(check (option int)) "parse empty" (Some 0) (Powerset.level_of_string ps "{}");
+  Alcotest.(check (option int)) "parse bad" None (Powerset.level_of_string ps "{z}");
+  Alcotest.(check (option int)) "parse no braces" None (Powerset.level_of_string ps "a")
+
+let validation () =
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Powerset.create: duplicate element \"a\"") (fun () ->
+      ignore (Powerset.create [ "a"; "a" ]));
+  match Powerset.of_elements ps [ "z" ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "accepted unknown element"
+
+let laws () =
+  let module Laws = Check.Laws (Powerset) in
+  match Laws.check ps with Ok () -> () | Error m -> Alcotest.fail m
+
+let residual_prop =
+  QCheck.Test.make ~count:200 ~name:"powerset residual = set difference"
+    QCheck.(pair (int_bound 7) (int_bound 7))
+    (fun (target, others) ->
+      Powerset.residual ps ~target ~others = target land lnot others)
+
+let suite =
+  [
+    case "structure" structure;
+    case "string round-trips" strings;
+    case "validation" validation;
+    case "lattice laws" laws;
+    Helpers.qcheck residual_prop;
+  ]

@@ -1,0 +1,77 @@
+(* The upgrade-preference knob: §3.1 notes that which minimal solution is
+   produced depends on the order of constraint evaluation; the solver
+   exposes that order.  Whatever the preference, results stay minimal. *)
+
+open Helpers
+
+let case = Helpers.case
+
+let both_sec31_solutions_reachable () =
+  let p = S.compile_exn ~lattice:fig1b Minup_core.Paper.sec31_constraints in
+  let solve_pref preferred =
+    let sol =
+      S.solve ~upgrade_preference:(fun a -> if a = preferred then 1 else 0) p
+    in
+    List.map
+      (fun (a, l) -> (a, Minup_lattice.Explicit.level_to_string fig1b l))
+      sol.S.assignment
+    |> List.sort compare
+  in
+  (* Prefer upgrading B: B absorbs the association constraint. *)
+  Alcotest.(check (list (pair string string)))
+    "prefer B" [ ("A", "L1"); ("B", "L4") ] (solve_pref "B");
+  (* Prefer upgrading A: A absorbs it instead. *)
+  Alcotest.(check (list (pair string string)))
+    "prefer A" [ ("A", "L3"); ("B", "L2") ] (solve_pref "A")
+
+let preference_preserves_minimality =
+  QCheck.Test.make ~count:40 ~name:"any preference still yields a minimal solution"
+    QCheck.(pair Helpers.seed_arb Helpers.seed_arb)
+    (fun (seed, pref_seed) ->
+      let rng = Minup_workload.Prng.create seed in
+      let lat =
+        Minup_workload.Gen_lattice.random_closure_exn rng ~universe:4
+          ~n_generators:3 ~max_size:12
+      in
+      let spec =
+        Minup_workload.Gen_constraints.
+          {
+            n_attrs = 5;
+            n_simple = 4;
+            n_complex = 2;
+            max_lhs = 3;
+            n_constants = 2;
+            constants = Minup_lattice.Explicit.all lat;
+          }
+      in
+      let attrs, csts =
+        if Minup_workload.Prng.bool rng then
+          Minup_workload.Gen_constraints.acyclic rng spec
+        else Minup_workload.Gen_constraints.single_scc rng spec
+      in
+      let p = S.compile_exn ~lattice:lat ~attrs csts in
+      let pref a = Hashtbl.hash (pref_seed, a) mod 7 in
+      let sol = S.solve ~upgrade_preference:pref p in
+      S.satisfies p sol.S.levels
+      &&
+      match V.is_minimal_solution ~cap:250_000 p sol.S.levels with
+      | Ok b -> b
+      | Error `Too_large -> true)
+
+let fig2_stable_under_default () =
+  (* Zero preference must not change the documented Fig. 2 behavior. *)
+  let p =
+    S.compile_exn ~lattice:fig1b ~attrs:Minup_core.Paper.fig2_attrs
+      Minup_core.Paper.fig2_constraints
+  in
+  let plain = S.solve p in
+  let pref = S.solve ~upgrade_preference:(fun _ -> 0) p in
+  Alcotest.(check bool) "identical" true
+    (Array.for_all2 (Minup_lattice.Explicit.equal fig1b) plain.S.levels pref.S.levels)
+
+let suite =
+  [
+    case "both §3.1 solutions reachable" both_sec31_solutions_reachable;
+    Helpers.qcheck preference_preserves_minimality;
+    case "neutral preference = default" fig2_stable_under_default;
+  ]

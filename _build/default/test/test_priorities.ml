@@ -1,0 +1,122 @@
+module Cst = Minup_constraints.Cst
+module Problem = Minup_constraints.Problem
+module Priorities = Minup_constraints.Priorities
+module Scc = Minup_constraints.Scc
+
+let case = Helpers.case
+
+let fig2_problem () =
+  Problem.compile_exn ~attrs:Minup_core.Paper.fig2_attrs
+    Minup_core.Paper.fig2_constraints
+
+let paper_priorities () =
+  let p = fig2_problem () in
+  let prio = Priorities.compute p in
+  Alcotest.(check int) "max priority" 4 prio.Priorities.max_priority;
+  let set i =
+    List.sort compare
+      (Array.to_list (Array.map (Problem.attr_name p) prio.Priorities.sets.(i)))
+  in
+  List.iteri
+    (fun i expected ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "priority[%d]" (i + 1))
+        (List.sort compare expected) (set i))
+    Minup_core.Paper.fig2_expected_priorities
+
+let cycle_detection () =
+  let p = fig2_problem () in
+  let prio = Priorities.compute p in
+  let id a = Option.get (Problem.attr_id p a) in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) (a ^ " in cycle") true (Priorities.in_cycle prio p (id a)))
+    [ "B"; "C"; "E"; "F"; "G"; "M"; "I"; "O"; "N" ];
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) (a ^ " not in cycle") false
+        (Priorities.in_cycle prio p (id a)))
+    [ "P"; "D" ]
+
+let self_loop_via_hypernode () =
+  (* lub{a,b} ⊒ a is trivial and dropped, but a → b → a through a
+     hypernode is a real cycle. *)
+  let p =
+    Problem.compile_exn
+      [
+        Cst.make_exn ~lhs:[ "a"; "c" ] ~rhs:(Cst.Attr "b");
+        Cst.simple "b" (Cst.Attr "a");
+      ]
+  in
+  let prio = Priorities.compute p in
+  let id x = Option.get (Problem.attr_id p x) in
+  Alcotest.(check int) "a and b share priority" prio.Priorities.priority.(id "a")
+    prio.Priorities.priority.(id "b");
+  Alcotest.(check bool) "c different" true
+    (prio.Priorities.priority.(id "c") <> prio.Priorities.priority.(id "a"))
+
+(* The three invariants from the paper, cross-checked against Tarjan on
+   random mixed constraint sets. *)
+let invariants_prop =
+  QCheck.Test.make ~count:100 ~name:"priorities match SCCs and respect edges"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let spec =
+        Minup_workload.Gen_constraints.
+          {
+            n_attrs = 24;
+            n_simple = 20;
+            n_complex = 8;
+            max_lhs = 3;
+            n_constants = 4;
+            constants = [ 0; 1; 2 ];
+          }
+      in
+      let attrs, csts =
+        Minup_workload.Gen_constraints.mixed rng spec ~n_islands:2 ~island_size:5
+      in
+      let p = Problem.compile_exn ~attrs csts in
+      let prio = Priorities.compute p in
+      let scc = Scc.compute p in
+      let n = Problem.n_attrs p in
+      (* (1) every attribute has exactly one priority in range *)
+      let ok1 =
+        Array.for_all
+          (fun pr -> pr >= 1 && pr <= prio.Priorities.max_priority)
+          prio.Priorities.priority
+      in
+      (* (2) same priority ⇔ same SCC *)
+      let ok2 =
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b ->
+                prio.Priorities.priority.(a) = prio.Priorities.priority.(b)
+                = (scc.Scc.component.(a) = scc.Scc.component.(b)))
+              (List.init n Fun.id))
+          (List.init n Fun.id)
+      in
+      (* (3) along every constraint edge, priority does not increase
+         from rhs to lhs: priority(lhs) <= priority(rhs). *)
+      let ok3 =
+        Array.for_all
+          (fun (c : _ Problem.cst) ->
+            match c.rhs with
+            | Problem.Rlevel _ -> true
+            | Problem.Rattr b ->
+                Array.for_all
+                  (fun a ->
+                    prio.Priorities.priority.(a) <= prio.Priorities.priority.(b))
+                  c.lhs)
+          p.Problem.csts
+      in
+      ok1 && ok2 && ok3)
+
+let suite =
+  [
+    case "paper priorities (Fig. 2(b))" paper_priorities;
+    case "cycle membership" cycle_detection;
+    case "hypernode cycles" self_loop_via_hypernode;
+    Helpers.qcheck invariants_prop;
+  ]

@@ -1,0 +1,44 @@
+open Minup_lattice
+module P = Product.Make (Total) (Powerset)
+
+let case = Helpers.case
+let ladder = Total.create [ "lo"; "hi" ]
+let ps = Powerset.create [ "x"; "y" ]
+let lat = (ladder, ps)
+
+let structure () =
+  Alcotest.(check (option int)) "size" (Some 8) (P.size lat);
+  Alcotest.(check int) "height" 3 (P.height lat);
+  Alcotest.(check bool) "componentwise leq" true (P.leq lat (0, 1) (1, 3));
+  Alcotest.(check bool) "incomparable" false (P.leq lat (1, 0) (0, 3));
+  Alcotest.(check bool) "lub" true (P.equal lat (P.lub lat (1, 1) (0, 2)) (1, 3));
+  Alcotest.(check bool) "glb" true (P.equal lat (P.glb lat (1, 1) (0, 3)) (0, 1));
+  Alcotest.(check int) "covers count of top" 3
+    (List.length (P.covers_below lat (P.top lat)))
+
+let laws () =
+  let module Laws = Check.Laws (P) in
+  match Laws.check lat with Ok () -> () | Error m -> Alcotest.fail m
+
+let laws_nested () =
+  (* A product of products. *)
+  let module PP = Product.Make (P) (Total) in
+  let module Laws = Check.Laws (PP) in
+  match Laws.check ~max_size:64 (lat, Total.anonymous 3) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let strings () =
+  let l = (1, Powerset.of_elements_exn ps [ "x" ]) in
+  Alcotest.(check string) "to_string" "(hi,{x})" (P.level_to_string lat l);
+  match P.level_of_string lat "(hi,{x})" with
+  | Some l' -> Alcotest.(check bool) "roundtrip" true (P.equal lat l l')
+  | None -> Alcotest.fail "parse failed"
+
+let suite =
+  [
+    case "structure" structure;
+    case "lattice laws" laws;
+    case "nested product laws" laws_nested;
+    case "string round-trips" strings;
+  ]

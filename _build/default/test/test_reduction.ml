@@ -1,0 +1,88 @@
+open Minup_lattice
+open Minup_poset
+
+let case = Helpers.case
+
+(* The paper's running example: (P ∨ Q) ∧ (Q ∨ ¬R). *)
+let paper_formula = Sat.{ n_vars = 3; clauses = [ [ 1; 2 ]; [ 2; -3 ] ] }
+
+let paper_example_shape () =
+  let red = Reduction.build paper_formula in
+  (* 3 vars × 3 elements + per 2-literal clause: C_i + 3 satisfying
+     assignments = 9 + 4 + 4 = 17 elements; height one. *)
+  Alcotest.(check int) "17 elements" 17 (Poset.cardinal red.Reduction.poset);
+  Alcotest.(check int) "height 1" 1 (Poset.height red.Reduction.poset);
+  (* 2 clause attrs + 3 wp + 3 wu. *)
+  Alcotest.(check int) "8 attributes" 8 (Minposet.n_attrs red.Reduction.problem);
+  (* It is genuinely not a partial lattice (that is the point). *)
+  Alcotest.(check bool) "not a partial lattice" false
+    (Poset.is_partial_lattice red.Reduction.poset)
+
+let paper_example_solvable () =
+  let red = Reduction.build paper_formula in
+  match Minposet.satisfiable red.Reduction.problem with
+  | None -> Alcotest.fail "satisfiable formula gave unsolvable min-poset"
+  | Some sol ->
+      let truth = Reduction.decode red sol in
+      Alcotest.(check bool) "decoded assignment satisfies" true
+        (Sat.satisfies paper_formula truth)
+
+let unsat_maps_to_unsolvable () =
+  let u = Sat.{ n_vars = 1; clauses = [ [ 1 ]; [ -1 ] ] } in
+  let red = Reduction.build u in
+  Alcotest.(check bool) "unsolvable" true
+    (Minposet.satisfiable red.Reduction.problem = None)
+
+let encode_roundtrip () =
+  let red = Reduction.build paper_formula in
+  let truth = Option.get (Sat.solve paper_formula) in
+  let sol = Reduction.encode red truth in
+  Alcotest.(check bool) "encoded satisfies min-poset" true
+    (Minposet.satisfies red.Reduction.problem sol);
+  let truth' = Reduction.decode red sol in
+  let agree = ref true in
+  for v = 1 to paper_formula.Sat.n_vars do
+    if truth.(v) <> truth'.(v) then agree := false
+  done;
+  Alcotest.(check bool) "decode ∘ encode = id on variables" true !agree
+
+let rejects_empty_clause () =
+  Alcotest.check_raises "empty clause"
+    (Invalid_argument "Reduction.build: empty clause") (fun () ->
+      ignore (Reduction.build { n_vars = 1; clauses = [ [] ] }))
+
+let tautological_clause () =
+  (* x ∨ ¬x: all assignments of {x} satisfy the clause. *)
+  let red = Reduction.build { n_vars = 1; clauses = [ [ 1; -1 ] ] } in
+  match Minposet.satisfiable red.Reduction.problem with
+  | Some _ -> ()
+  | None -> Alcotest.fail "tautology should be solvable"
+
+(* Thm. 6.1 equivalence, checked both ways on random 3-SAT. *)
+let equivalence_prop =
+  QCheck.Test.make ~count:60 ~name:"SAT ⇔ min-poset solvable (Thm. 6.1)"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let cnf =
+        Minup_workload.Gen_sat.random_3sat rng ~n_vars:4
+          ~n_clauses:(4 + Minup_workload.Prng.int rng 16)
+      in
+      let red = Reduction.build cnf in
+      match (Sat.solve cnf, Minposet.satisfiable red.Reduction.problem) with
+      | None, None -> true
+      | Some truth, Some sol ->
+          Minposet.satisfies red.Reduction.problem (Reduction.encode red truth)
+          && Sat.satisfies cnf (Reduction.decode red sol)
+      | Some _, None | None, Some _ -> false)
+
+let suite =
+  [
+    case "paper example shape" paper_example_shape;
+    case "paper example solvable + decodes" paper_example_solvable;
+    case "unsat maps to unsolvable" unsat_maps_to_unsolvable;
+    case "encode round-trip" encode_roundtrip;
+    case "rejects empty clause" rejects_empty_clause;
+    case "tautological clause" tautological_clause;
+    Helpers.qcheck equivalence_prop;
+  ]

@@ -1,0 +1,88 @@
+(* The footnote-4 fast path: solving with a direct residual computation
+   must produce exactly the same classification as the generic lattice
+   walk. *)
+
+open Minup_lattice
+
+let case = Helpers.case
+
+module SC = Minup_core.Solver.Make (Compartment)
+module ST = Minup_core.Solver.Make (Total)
+module Cst = Minup_constraints.Cst
+
+let compartment_same () =
+  let lat = Compartment.fig1a in
+  let mk cls cats = Cst.Level (Compartment.make_exn lat ~cls ~cats) in
+  let csts =
+    [
+      Cst.make_exn ~lhs:[ "a"; "b" ] ~rhs:(mk "TS" [ "Army"; "Nuclear" ]);
+      Cst.simple "a" (mk "S" [ "Army" ]);
+      Cst.simple "c" (Cst.Attr "a");
+      (* a cycle too *)
+      Cst.simple "d" (Cst.Attr "e");
+      Cst.simple "e" (Cst.Attr "d");
+      Cst.simple "d" (mk "TS" []);
+      Cst.make_exn ~lhs:[ "e"; "f" ] ~rhs:(mk "TS" [ "Nuclear" ]);
+    ]
+  in
+  let p = SC.compile_exn ~lattice:lat csts in
+  let plain = SC.solve p in
+  let fast = SC.solve ~residual:Compartment.residual p in
+  Alcotest.(check bool) "identical assignments" true
+    (Array.for_all2 (Compartment.equal lat) plain.SC.levels fast.SC.levels);
+  Alcotest.(check bool) "fast path satisfies" true (SC.satisfies p fast.SC.levels)
+
+let total_same_prop =
+  QCheck.Test.make ~count:80 ~name:"total-order residual = generic walk"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let lat = Total.anonymous 5 in
+      let spec =
+        Minup_workload.Gen_constraints.
+          {
+            n_attrs = 6;
+            n_simple = 5;
+            n_complex = 3;
+            max_lhs = 3;
+            n_constants = 3;
+            constants = [ 0; 1; 2; 3; 4 ];
+          }
+      in
+      let attrs, csts =
+        if Minup_workload.Prng.bool rng then
+          Minup_workload.Gen_constraints.acyclic rng spec
+        else Minup_workload.Gen_constraints.single_scc rng spec
+      in
+      let p = ST.compile_exn ~lattice:lat ~attrs csts in
+      let plain = ST.solve p in
+      let fast = ST.solve ~residual:Total.residual p in
+      plain.ST.levels = fast.ST.levels)
+
+let fewer_ops () =
+  (* The whole point of footnote 4: fewer lattice operations. *)
+  let lat = Compartment.dod ~n_categories:10 in
+  let mk cls cats = Cst.Level (Compartment.make_exn lat ~cls ~cats) in
+  let csts =
+    [
+      Cst.make_exn ~lhs:[ "a"; "b"; "c" ]
+        ~rhs:(mk "TS" [ "K0"; "K1"; "K2"; "K3"; "K4" ]);
+      Cst.simple "a" (mk "C" [ "K0" ]);
+      Cst.simple "b" (mk "S" [ "K1" ]);
+    ]
+  in
+  let p = SC.compile_exn ~lattice:lat csts in
+  let plain = SC.solve p in
+  let fast = SC.solve ~residual:Compartment.residual p in
+  Alcotest.(check bool) "same answer" true
+    (Array.for_all2 (Compartment.equal lat) plain.SC.levels fast.SC.levels);
+  Alcotest.(check bool) "fewer lattice ops" true
+    (Minup_core.Instr.lattice_ops fast.SC.stats
+    < Minup_core.Instr.lattice_ops plain.SC.stats)
+
+let suite =
+  [
+    case "compartment residual matches walk" compartment_same;
+    Helpers.qcheck total_same_prop;
+    case "residual saves lattice operations" fewer_ops;
+  ]

@@ -1,0 +1,77 @@
+open Minup_poset
+
+let case = Helpers.case
+
+let known_sat () =
+  let cnf = Sat.{ n_vars = 3; clauses = [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ] ] } in
+  match Sat.solve cnf with
+  | Some a -> Alcotest.(check bool) "satisfies" true (Sat.satisfies cnf a)
+  | None -> Alcotest.fail "should be satisfiable"
+
+let known_unsat () =
+  (* (x)(¬x) and a pigeonhole-1 instance. *)
+  Alcotest.(check bool) "x ∧ ¬x" true
+    (Sat.solve { n_vars = 1; clauses = [ [ 1 ]; [ -1 ] ] } = None);
+  let php =
+    Sat.
+      {
+        n_vars = 2;
+        clauses = [ [ 1; 2 ]; [ -1; -2 ]; [ 1; -2 ]; [ -1; 2 ] ];
+      }
+  in
+  Alcotest.(check bool) "no assignment" true (Sat.solve php = None)
+
+let empty_formula () =
+  match Sat.solve { n_vars = 2; clauses = [] } with
+  | Some _ -> ()
+  | None -> Alcotest.fail "empty formula is satisfiable"
+
+let empty_clause () =
+  Alcotest.(check bool) "empty clause unsat" true
+    (Sat.solve { n_vars = 1; clauses = [ [ 1 ]; [] ] } = None)
+
+let checks () =
+  (match Sat.check { n_vars = 2; clauses = [ [ 0 ] ] } with
+  | Error Sat.Zero_literal -> ()
+  | _ -> Alcotest.fail "accepted literal 0");
+  (match Sat.check { n_vars = 2; clauses = [ [ 3 ] ] } with
+  | Error (Sat.Var_out_of_range 3) -> ()
+  | _ -> Alcotest.fail "accepted out-of-range variable");
+  match Sat.check { n_vars = 2; clauses = [ [ 1; -2 ] ] } with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "rejected valid formula"
+
+(* Brute-force equivalence on small formulas. *)
+let brute cnf =
+  let n = cnf.Sat.n_vars in
+  let rec go v (a : bool array) =
+    if v > n then Sat.satisfies cnf a
+    else begin
+      a.(v) <- true;
+      go (v + 1) a || (a.(v) <- false; go (v + 1) a)
+    end
+  in
+  go 1 (Array.make (n + 1) false)
+
+let dpll_equals_brute =
+  QCheck.Test.make ~count:200 ~name:"DPLL agrees with brute force"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let cnf =
+        Minup_workload.Gen_sat.random_3sat rng ~n_vars:6
+          ~n_clauses:(6 + Minup_workload.Prng.int rng 20)
+      in
+      let d = Sat.solve cnf in
+      (match d with Some a -> Sat.satisfies cnf a | None -> true)
+      && (d <> None) = brute cnf)
+
+let suite =
+  [
+    case "known satisfiable" known_sat;
+    case "known unsatisfiable" known_unsat;
+    case "empty formula" empty_formula;
+    case "empty clause" empty_clause;
+    case "validation" checks;
+    Helpers.qcheck dpll_equals_brute;
+  ]

@@ -1,0 +1,158 @@
+(* Back-propagation (§3.1): acyclic constraint sets. *)
+
+open Minup_lattice
+open Helpers
+
+let case = Helpers.case
+
+let no_constraints () =
+  let p = S.compile_exn ~lattice:fig1b ~attrs:[ "a"; "b" ] [] in
+  let sol = S.solve p in
+  (* Completeness default: unconstrained attributes rest at ⊥. *)
+  Array.iter
+    (fun l -> Alcotest.check (level_t fig1b) "bottom" (lvl "L1") l)
+    sol.S.levels
+
+let chain_propagation () =
+  (* a ⊒ b ⊒ c ⊒ L5: everything must reach L5, nothing more. *)
+  let sol =
+    solve_names fig1b
+      [ attr_cst "a" "b"; attr_cst "b" "c"; level_cst "c" "L5" ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "all at L5"
+    [ ("a", "L5"); ("b", "L5"); ("c", "L5") ]
+    (List.sort compare sol)
+
+let lub_of_floors () =
+  (* a ⊒ L2 and a ⊒ L3 force a to their lub L4. *)
+  let sol = solve_names fig1b [ level_cst "a" "L2"; level_cst "a" "L3" ] in
+  Alcotest.(check (list (pair string string))) "lub" [ ("a", "L4") ] sol
+
+let complex_last_attr_upgraded () =
+  (* lub{a,b} ⊒ L6 with a ⊒ L4: the solver upgrades exactly one attribute
+     minimally.  Whatever the choice, the result must be minimal. *)
+  check_solution_minimal fig1b
+    [ assoc_cst [ "a"; "b" ] "L6"; level_cst "a" "L4" ]
+
+let complex_already_satisfied () =
+  (* lub{a,b} ⊒ L4 where floors already cover it: no upgrading at all. *)
+  let sol =
+    solve_names fig1b
+      [ assoc_cst [ "a"; "b" ] "L4"; level_cst "a" "L2"; level_cst "b" "L3" ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "floors suffice"
+    [ ("a", "L2"); ("b", "L3") ]
+    (List.sort compare sol)
+
+let inference_constraint () =
+  (* lub{rank, dept} ⊒ salary, salary ⊒ L5. *)
+  let p =
+    S.compile_exn ~lattice:fig1b
+      [ infer_cst [ "rank"; "dept" ] "salary"; level_cst "salary" "L5" ]
+  in
+  let sol = S.solve p in
+  Alcotest.(check bool) "satisfies" true (S.satisfies p sol.S.levels);
+  let l a = Option.get (S.find p sol a) in
+  Alcotest.(check bool) "lub covers salary" true
+    (Explicit.leq fig1b (l "salary")
+       (Explicit.lub fig1b (l "rank") (l "dept")));
+  match V.is_minimal_solution p sol.S.levels with
+  | Ok b -> Alcotest.(check bool) "minimal" true b
+  | Error `Too_large -> Alcotest.fail "oracle too large"
+
+let shared_lhs_attrs () =
+  (* Two complex constraints sharing an attribute (the §3.2 worry), but
+     acyclically. *)
+  check_solution_minimal fig1b
+    [
+      assoc_cst [ "a"; "b" ] "L4";
+      assoc_cst [ "b"; "c" ] "L5";
+      assoc_cst [ "a"; "c" ] "L6";
+    ]
+
+let unique_minimal_matches_oracle () =
+  (* Simple constraints only: the minimal solution is unique, so the solver
+     must return exactly the oracle's answer. *)
+  let csts =
+    [
+      level_cst "w" "L2";
+      attr_cst "x" "w";
+      attr_cst "y" "x";
+      level_cst "y" "L3";
+      attr_cst "z" "y";
+    ]
+  in
+  let p = S.compile_exn ~lattice:fig1b csts in
+  let sol = S.solve p in
+  match V.minimal_solutions p with
+  | Error `Too_large -> Alcotest.fail "oracle too large"
+  | Ok [ unique ] ->
+      Alcotest.(check bool) "matches unique minimal" true
+        (V.equal_assignment fig1b unique sol.S.levels)
+  | Ok l -> Alcotest.failf "expected unique minimal solution, got %d" (List.length l)
+
+let larger_lattice () =
+  (* Same behaviors on a product-of-chains lattice. *)
+  let lat = Minup_workload.Gen_lattice.chain_product [ 2; 2 ] in
+  let lx = Explicit.of_name_exn lat in
+  let csts =
+    [
+      Cst.simple "a" (Cst.Level (lx "2.0"));
+      Cst.simple "a" (Cst.Level (lx "0.2"));
+      Cst.simple "b" (Cst.Attr "a");
+    ]
+  in
+  let p = S.compile_exn ~lattice:lat csts in
+  let sol = S.solve p in
+  let l a = Option.get (S.find p sol a) in
+  Alcotest.check (level_t lat) "a at lub" (lx "2.2") (l "a");
+  Alcotest.check (level_t lat) "b follows" (lx "2.2") (l "b")
+
+(* Property: on random acyclic instances over random lattices the solver
+   satisfies the constraints and is minimal (checked by the exhaustive
+   oracle on the down-set product). *)
+let random_acyclic_prop =
+  QCheck.Test.make ~count:40 ~name:"random acyclic: satisfies and minimal"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let lat =
+        Minup_workload.Gen_lattice.random_closure_exn rng ~universe:4
+          ~n_generators:3 ~max_size:12
+      in
+      let levels = Explicit.all lat in
+      let spec =
+        Minup_workload.Gen_constraints.
+          {
+            n_attrs = 6;
+            n_simple = 5;
+            n_complex = 2;
+            max_lhs = 3;
+            n_constants = 3;
+            constants = levels;
+          }
+      in
+      let attrs, csts = Minup_workload.Gen_constraints.acyclic rng spec in
+      let p = S.compile_exn ~lattice:lat ~attrs csts in
+      let sol = S.solve p in
+      S.satisfies p sol.S.levels
+      &&
+      match V.is_minimal_solution ~cap:250_000 p sol.S.levels with
+      | Ok b -> b
+      | Error `Too_large -> true (* oracle out of budget: skip this case *))
+
+let suite =
+  [
+    case "no constraints → all bottom" no_constraints;
+    case "chain propagation" chain_propagation;
+    case "lub of floors" lub_of_floors;
+    case "complex constraint upgraded minimally" complex_last_attr_upgraded;
+    case "complex already satisfied" complex_already_satisfied;
+    case "inference constraint" inference_constraint;
+    case "intersecting complex lhs" shared_lhs_attrs;
+    case "unique minimal matches oracle" unique_minimal_matches_oracle;
+    case "product-of-chains lattice" larger_lattice;
+    Helpers.qcheck random_acyclic_prop;
+  ]

@@ -1,0 +1,164 @@
+(* Forward lowering (§3.2): cyclic constraint sets. *)
+
+open Minup_lattice
+open Helpers
+
+let case = Helpers.case
+
+let simple_cycle_uniform () =
+  (* a ⊒ b ⊒ c ⊒ a with a floor: all members end at the floor. *)
+  let sol =
+    solve_names fig1b
+      [ attr_cst "a" "b"; attr_cst "b" "c"; attr_cst "c" "a"; level_cst "b" "L3" ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "uniform at L3"
+    [ ("a", "L3"); ("b", "L3"); ("c", "L3") ]
+    (List.sort compare sol)
+
+let simple_cycle_lub_of_floors () =
+  (* Floors L2 and L3 inside one cycle: everyone must reach their lub L4. *)
+  let sol =
+    solve_names fig1b
+      [
+        attr_cst "a" "b";
+        attr_cst "b" "a";
+        level_cst "a" "L2";
+        level_cst "b" "L3";
+      ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "uniform at lub"
+    [ ("a", "L4"); ("b", "L4") ]
+    (List.sort compare sol)
+
+let two_element_cycle_no_floor () =
+  let sol = solve_names fig1b [ attr_cst "a" "b"; attr_cst "b" "a" ] in
+  Alcotest.(check (list (pair string string)))
+    "cycle with no floor collapses to bottom"
+    [ ("a", "L1"); ("b", "L1") ]
+    (List.sort compare sol)
+
+let complex_in_cycle () =
+  (* The challenging §3.2 shape: a complex constraint inside a cycle. *)
+  check_solution_minimal ~cap:1_000_000 fig1b
+    [
+      infer_cst [ "a"; "b" ] "c";
+      attr_cst "c" "a";
+      level_cst "c" "L4";
+      level_cst "b" "L2";
+    ]
+
+let nondisjoint_complex_cycles () =
+  (* Intersecting complex left-hand sides entangled in one cycle —
+     the worst case discussed in §3.2. *)
+  check_solution_minimal ~cap:1_000_000 fig1b
+    [
+      infer_cst [ "a"; "b" ] "c";
+      infer_cst [ "b"; "c" ] "a";
+      level_cst "a" "L3";
+      level_cst "c" "L5";
+    ]
+
+let cycle_feeding_acyclic_tail () =
+  (* A cycle whose level must back-propagate into an acyclic part. *)
+  let p =
+    S.compile_exn ~lattice:fig1b
+      [
+        attr_cst "x" "y";
+        attr_cst "y" "x";
+        level_cst "y" "L5";
+        attr_cst "up" "x";
+      ]
+  in
+  let sol = S.solve p in
+  let l a = Explicit.level_to_string fig1b (Option.get (S.find p sol a)) in
+  Alcotest.(check string) "x" "L5" (l "x");
+  Alcotest.(check string) "up" "L5" (l "up")
+
+let incomparable_floors_in_cycle () =
+  (* Floors L4 and L5 are incomparable; the cycle must settle at L6. *)
+  let sol =
+    solve_names fig1b
+      [
+        attr_cst "a" "b";
+        attr_cst "b" "c";
+        attr_cst "c" "a";
+        level_cst "a" "L4";
+        level_cst "c" "L5";
+      ]
+  in
+  List.iter (fun (_, l) -> Alcotest.(check string) "L6" "L6" l) sol
+
+let random_cyclic_prop =
+  QCheck.Test.make ~count:40 ~name:"random single SCC: satisfies and minimal"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let lat =
+        Minup_workload.Gen_lattice.random_closure_exn rng ~universe:4
+          ~n_generators:3 ~max_size:12
+      in
+      let spec =
+        Minup_workload.Gen_constraints.
+          {
+            n_attrs = 5;
+            n_simple = 3;
+            n_complex = 2;
+            max_lhs = 3;
+            n_constants = 2;
+            constants = Explicit.all lat;
+          }
+      in
+      let attrs, csts = Minup_workload.Gen_constraints.single_scc rng spec in
+      let p = S.compile_exn ~lattice:lat ~attrs csts in
+      let sol = S.solve p in
+      S.satisfies p sol.S.levels
+      &&
+      match V.is_minimal_solution ~cap:250_000 p sol.S.levels with
+      | Ok b -> b
+      | Error `Too_large -> true (* oracle out of budget: skip this case *))
+
+let random_mixed_prop =
+  QCheck.Test.make ~count:40 ~name:"random mixed SCCs: satisfies and minimal"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let lat =
+        Minup_workload.Gen_lattice.random_closure_exn rng ~universe:4
+          ~n_generators:4 ~max_size:14
+      in
+      let spec =
+        Minup_workload.Gen_constraints.
+          {
+            n_attrs = 7;
+            n_simple = 6;
+            n_complex = 2;
+            max_lhs = 2;
+            n_constants = 2;
+            constants = Explicit.all lat;
+          }
+      in
+      let attrs, csts =
+        Minup_workload.Gen_constraints.mixed rng spec ~n_islands:2 ~island_size:2
+      in
+      let p = S.compile_exn ~lattice:lat ~attrs csts in
+      let sol = S.solve p in
+      S.satisfies p sol.S.levels
+      &&
+      match V.is_minimal_solution ~cap:250_000 p sol.S.levels with
+      | Ok b -> b
+      | Error `Too_large -> true (* oracle out of budget: skip this case *))
+
+let suite =
+  [
+    case "simple cycle with one floor" simple_cycle_uniform;
+    case "simple cycle with two floors" simple_cycle_lub_of_floors;
+    case "cycle without floors" two_element_cycle_no_floor;
+    case "complex constraint in cycle" complex_in_cycle;
+    case "nondisjoint complex cycles" nondisjoint_complex_cycles;
+    case "cycle feeds acyclic tail" cycle_feeding_acyclic_tail;
+    case "incomparable floors" incomparable_floors_in_cycle;
+    Helpers.qcheck random_cyclic_prop;
+    Helpers.qcheck random_mixed_prop;
+  ]

@@ -1,0 +1,102 @@
+(* Large-instance properties: the exhaustive oracle cannot reach these
+   sizes, but the polynomial replay checker (validated against the oracle
+   in test_explain) can — so minimality is asserted on problems two orders
+   of magnitude bigger than the oracle-backed suites. *)
+
+open Minup_lattice
+module ST = Minup_core.Solver.Make (Total)
+module ExT = Minup_core.Explain.Make (Total)
+module SE = Helpers.S
+module ExE = Minup_core.Explain.Make (Explicit)
+
+let case = Helpers.case
+let ladder = Total.create (List.init 16 (Printf.sprintf "S%d"))
+
+let spec n =
+  Minup_workload.Gen_constraints.
+    {
+      n_attrs = n;
+      n_simple = 2 * n;
+      n_complex = n / 2;
+      max_lhs = 4;
+      n_constants = n / 3;
+      constants = List.init 16 Fun.id;
+    }
+
+let large_acyclic =
+  QCheck.Test.make ~count:20 ~name:"large acyclic (100 attrs): minimal by replay"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let attrs, csts = Minup_workload.Gen_constraints.acyclic rng (spec 100) in
+      let p = ST.compile_exn ~lattice:ladder ~attrs csts in
+      let sol = ST.solve p in
+      ST.satisfies p sol.ST.levels && ExT.is_locally_minimal p sol.ST.levels)
+
+let large_mixed =
+  QCheck.Test.make ~count:20 ~name:"large mixed SCCs (80 attrs): minimal by replay"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let attrs, csts =
+        Minup_workload.Gen_constraints.mixed rng (spec 80) ~n_islands:4
+          ~island_size:10
+      in
+      let p = ST.compile_exn ~lattice:ladder ~attrs csts in
+      let sol = ST.solve p in
+      ST.satisfies p sol.ST.levels && ExT.is_locally_minimal p sol.ST.levels)
+
+let large_cyclic_explicit =
+  QCheck.Test.make ~count:15
+    ~name:"large single SCC over Fig. 1(b): minimal by replay" Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let spec =
+        Minup_workload.Gen_constraints.
+          {
+            n_attrs = 50;
+            n_simple = 30;
+            n_complex = 12;
+            max_lhs = 3;
+            n_constants = 10;
+            constants = Explicit.all Helpers.fig1b;
+          }
+      in
+      let attrs, csts = Minup_workload.Gen_constraints.single_scc rng spec in
+      let p = SE.compile_exn ~lattice:Helpers.fig1b ~attrs csts in
+      let sol = SE.solve p in
+      SE.satisfies p sol.SE.levels && ExE.is_locally_minimal p sol.SE.levels)
+
+let bounded_still_minimal =
+  QCheck.Test.make ~count:20
+    ~name:"bounded solutions remain globally minimal (replay)" Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let attrs, csts = Minup_workload.Gen_constraints.acyclic rng (spec 60) in
+      let p = ST.compile_exn ~lattice:ladder ~attrs csts in
+      (* Cap a handful of attributes high enough to stay consistent. *)
+      let bounds =
+        List.filteri (fun i _ -> i mod 9 = 0) attrs |> List.map (fun a -> (a, 13))
+      in
+      match ST.solve_with_bounds p bounds with
+      | Error _ -> true (* bound conflicts with a floor: nothing to assert *)
+      | Ok sol ->
+          ST.satisfies p sol.ST.levels && ExT.is_locally_minimal p sol.ST.levels)
+
+let fig2_replay () =
+  let p =
+    SE.compile_exn ~lattice:Helpers.fig1b ~attrs:Minup_core.Paper.fig2_attrs
+      Minup_core.Paper.fig2_constraints
+  in
+  let sol = SE.solve p in
+  Alcotest.(check bool) "Fig. 2 minimal by replay" true
+    (ExE.is_locally_minimal p sol.SE.levels)
+
+let suite =
+  [
+    Helpers.qcheck large_acyclic;
+    Helpers.qcheck large_mixed;
+    Helpers.qcheck large_cyclic_explicit;
+    Helpers.qcheck bounded_still_minimal;
+    case "Fig. 2 via replay checker" fig2_replay;
+  ]

@@ -1,0 +1,134 @@
+(* Reproduction of the paper's worked examples: Fig. 2(b) and §3.1. *)
+
+open Minup_lattice
+open Helpers
+module Paper = Minup_core.Paper
+
+let case = Helpers.case
+
+let compile_fig2 () =
+  S.compile_exn ~lattice:Paper.fig1b ~attrs:Paper.fig2_attrs Paper.fig2_constraints
+
+let fig2_final_levels () =
+  let p = compile_fig2 () in
+  let sol = S.solve p in
+  List.iter
+    (fun (attr, expected) ->
+      let got =
+        Explicit.level_to_string Paper.fig1b (Option.get (S.find p sol attr))
+      in
+      Alcotest.(check string) attr expected got)
+    Paper.fig2_expected_solution
+
+let fig2_satisfies_and_minimal () =
+  let p = compile_fig2 () in
+  let sol = S.solve p in
+  Alcotest.(check bool) "satisfies" true (S.satisfies p sol.S.levels);
+  match V.is_minimal_solution ~cap:10_000_000 p sol.S.levels with
+  | Ok b -> Alcotest.(check bool) "minimal" true b
+  | Error `Too_large -> Alcotest.fail "oracle too large"
+
+let fig2_trace () =
+  let p = compile_fig2 () in
+  let events = ref [] in
+  let _ = S.solve ~on_event:(fun e -> events := e :: !events) p in
+  let events = List.rev !events in
+  (* Consideration order follows decreasing priority, ascending id within
+     a set: P first, then B..M, then I,O,N, then D last. *)
+  let considered =
+    List.filter_map (function S.Consider { attr; _ } -> Some attr | _ -> None) events
+  in
+  Alcotest.(check (list string)) "consideration order"
+    [ "P"; "B"; "C"; "E"; "F"; "G"; "M"; "I"; "O"; "N"; "D" ]
+    considered;
+  (* The trace records the failed try(F, L2) the paper shows. *)
+  let failed_tries =
+    List.filter_map
+      (function
+        | S.Try_lower { attr; target; lowered = None } ->
+            Some (attr, Explicit.level_to_string Paper.fig1b target)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check bool) "try(F,L2) failed" true (List.mem ("F", "L2") failed_tries);
+  (* And the successful lowering steps of E. *)
+  let e_tries =
+    List.filter_map
+      (function
+        | S.Try_lower { attr = "E"; target; lowered = Some _ } ->
+            Some (Explicit.level_to_string Paper.fig1b target)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check (list string)) "E lowering path" [ "L2"; "L1" ] e_tries
+
+let fig2_try_b_sweeps_cycle () =
+  (* try(B, L5) must lower B, M and G together, as in the trace's second
+     row. *)
+  let p = compile_fig2 () in
+  let b_lowering = ref [] in
+  let _ =
+    S.solve
+      ~on_event:(function
+        | S.Try_lower { attr = "B"; lowered = Some l; _ } -> b_lowering := l
+        | _ -> ())
+      p
+  in
+  let names = List.sort compare (List.map fst !b_lowering) in
+  Alcotest.(check (list string)) "B's try sweeps B,G,M" [ "B"; "G"; "M" ] names;
+  List.iter
+    (fun (_, l) ->
+      Alcotest.(check string) "all at L5" "L5"
+        (Explicit.level_to_string Paper.fig1b l))
+    !b_lowering
+
+let sec31_two_minimal_solutions () =
+  let p = S.compile_exn ~lattice:Paper.fig1b Paper.sec31_constraints in
+  (* The oracle finds exactly the two minimal solutions of §3.1. *)
+  match V.minimal_solutions p with
+  | Error `Too_large -> Alcotest.fail "oracle too large"
+  | Ok sols ->
+      let render sol =
+        List.sort compare
+          (List.mapi
+             (fun i l ->
+               ( Minup_constraints.Problem.attr_name p.S.prob i,
+                 Explicit.level_to_string Paper.fig1b l ))
+             (Array.to_list sol))
+      in
+      let got = List.sort compare (List.map render sols) in
+      let expected =
+        List.sort compare
+          (List.map (List.sort compare) Paper.sec31_minimal_solutions)
+      in
+      Alcotest.(check (list (list (pair string string)))) "minimal set" expected got;
+      (* And the solver returns one of them. *)
+      let sol = S.solve p in
+      Alcotest.(check bool) "solver output among minimal" true
+        (List.mem (render sol.S.levels) got)
+
+let deterministic () =
+  let p = compile_fig2 () in
+  let s1 = S.solve p and s2 = S.solve p in
+  Alcotest.(check bool) "same assignment" true
+    (Array.for_all2 (Explicit.equal Paper.fig1b) s1.S.levels s2.S.levels)
+
+let stats_populated () =
+  let p = compile_fig2 () in
+  let sol = S.solve p in
+  let st = sol.S.stats in
+  Alcotest.(check bool) "lubs counted" true (st.Minup_core.Instr.lub > 0);
+  Alcotest.(check bool) "tries counted" true (st.Minup_core.Instr.try_calls > 0);
+  Alcotest.(check bool) "checks counted" true
+    (st.Minup_core.Instr.constraint_checks > 0)
+
+let suite =
+  [
+    case "Fig. 2(b) final levels" fig2_final_levels;
+    case "Fig. 2 satisfies + minimal" fig2_satisfies_and_minimal;
+    case "Fig. 2(b) trace events" fig2_trace;
+    case "Fig. 2(b) try(B,L5) sweep" fig2_try_b_sweeps_cycle;
+    case "§3.1 minimal solutions" sec31_two_minimal_solutions;
+    case "determinism" deterministic;
+    case "instrumentation" stats_populated;
+  ]

@@ -1,0 +1,43 @@
+module Problem = Minup_constraints.Problem
+module Stats = Minup_constraints.Stats
+
+let case = Helpers.case
+
+let fig2 () =
+  let p =
+    Problem.compile_exn ~attrs:Minup_core.Paper.fig2_attrs
+      Minup_core.Paper.fig2_constraints
+  in
+  let s = Stats.compute p in
+  Alcotest.(check int) "attrs" 11 s.Stats.n_attrs;
+  Alcotest.(check int) "constraints" 16 s.Stats.n_csts;
+  Alcotest.(check int) "complex" 3 s.Stats.n_complex;
+  Alcotest.(check int) "simple" 13 s.Stats.n_simple;
+  (* S = 13*(1+1) + 3*(2+1) = 35 *)
+  Alcotest.(check int) "S" 35 s.Stats.total_size;
+  Alcotest.(check bool) "cyclic" false s.Stats.acyclic;
+  Alcotest.(check int) "SCCs" 4 s.Stats.n_sccs;
+  Alcotest.(check int) "largest SCC" 6 s.Stats.largest_scc;
+  Alcotest.(check int) "cyclic attrs" 9 s.Stats.n_cyclic_attrs;
+  Alcotest.(check int) "max lhs" 2 s.Stats.max_lhs
+
+let acyclic_stats () =
+  let _, csts =
+    Minup_workload.Gen_constraints.acyclic
+      (Minup_workload.Prng.create 7)
+      Minup_workload.Gen_constraints.
+        {
+          n_attrs = 30;
+          n_simple = 25;
+          n_complex = 10;
+          max_lhs = 4;
+          n_constants = 5;
+          constants = [ 0; 1 ];
+        }
+  in
+  let s = Stats.compute (Problem.compile_exn csts) in
+  Alcotest.(check bool) "acyclic" true s.Stats.acyclic;
+  Alcotest.(check int) "no cyclic attrs" 0 s.Stats.n_cyclic_attrs;
+  Alcotest.(check int) "singleton SCCs" s.Stats.n_attrs s.Stats.n_sccs
+
+let suite = [ case "Fig. 2 stats" fig2; case "acyclic stats" acyclic_stats ]

@@ -1,0 +1,131 @@
+(* Stress shapes that exercise the complexity-bound parameters directly:
+   very tall lattices (H), wide branching (B), and degenerate constraint
+   shapes.  These guard the termination arguments (Try re-entry is bounded
+   by H; Minlevel walks at most H·B covers). *)
+
+open Minup_lattice
+module ST = Minup_core.Solver.Make (Total)
+module SP = Minup_core.Solver.Make (Powerset)
+module ExT = Minup_core.Explain.Make (Total)
+module Cst = Minup_constraints.Cst
+
+let case = Helpers.case
+
+let tall_lattice_cycle () =
+  (* H = 499; a 3-cycle must walk the whole ladder down to its floor. *)
+  let lat = Total.anonymous 500 in
+  let csts =
+    [
+      Cst.simple "a" (Cst.Attr "b");
+      Cst.simple "b" (Cst.Attr "c");
+      Cst.simple "c" (Cst.Attr "a");
+      Cst.simple "b" (Cst.Level 123);
+    ]
+  in
+  let p = ST.compile_exn ~lattice:lat csts in
+  let sol = ST.solve p in
+  Array.iter (fun l -> Alcotest.(check int) "all at 123" 123 l) sol.ST.levels;
+  Alcotest.(check bool) "minimal" true (ExT.is_locally_minimal p sol.ST.levels)
+
+let tall_lattice_complex_cycle () =
+  let lat = Total.anonymous 300 in
+  let csts =
+    [
+      Cst.make_exn ~lhs:[ "a"; "b" ] ~rhs:(Cst.Attr "c");
+      Cst.simple "c" (Cst.Attr "a");
+      Cst.simple "c" (Cst.Level 200);
+      Cst.simple "b" (Cst.Level 50);
+    ]
+  in
+  let p = ST.compile_exn ~lattice:lat csts in
+  let sol = ST.solve p in
+  Alcotest.(check bool) "satisfies" true (ST.satisfies p sol.ST.levels);
+  Alcotest.(check bool) "minimal" true (ExT.is_locally_minimal p sol.ST.levels)
+
+let wide_branching () =
+  (* Powerset of 16: branching factor 16, 65536 levels — never enumerated,
+     only walked. *)
+  let lat = Powerset.create (List.init 16 (Printf.sprintf "e%d")) in
+  let set es = Cst.Level (Powerset.of_elements_exn lat (List.map (Printf.sprintf "e%d") es)) in
+  let csts =
+    [
+      Cst.make_exn ~lhs:[ "a"; "b" ] ~rhs:(set [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+      Cst.simple "a" (set [ 0; 1 ]);
+      Cst.simple "b" (set [ 6; 7 ]);
+      Cst.simple "c" (Cst.Attr "a");
+      (* and a cycle *)
+      Cst.simple "d" (Cst.Attr "e");
+      Cst.simple "e" (Cst.Attr "d");
+      Cst.simple "d" (set [ 9; 10; 11 ]);
+    ]
+  in
+  let p = SP.compile_exn ~lattice:lat csts in
+  let plain = SP.solve p in
+  let fast = SP.solve ~residual:Powerset.residual p in
+  Alcotest.(check bool) "satisfies" true (SP.satisfies p plain.SP.levels);
+  Alcotest.(check bool) "fast path agrees" true (plain.SP.levels = fast.SP.levels);
+  let module ExP = Minup_core.Explain.Make (Powerset) in
+  Alcotest.(check bool) "minimal" true (ExP.is_locally_minimal p plain.SP.levels)
+
+let degenerate_shapes () =
+  let lat = Total.anonymous 4 in
+  (* Duplicate constraints, trivial (dropped) constraints, self-sufficient
+     complex constraints — none should disturb the result. *)
+  let csts =
+    [
+      Cst.simple "a" (Cst.Level 2);
+      Cst.simple "a" (Cst.Level 2);
+      Cst.make_exn ~lhs:[ "a"; "b" ] ~rhs:(Cst.Attr "a") (* trivial: dropped *);
+      Cst.make_exn ~lhs:[ "a"; "b" ] ~rhs:(Cst.Level 1);
+    ]
+  in
+  let p = ST.compile_exn ~lattice:lat csts in
+  let sol = ST.solve p in
+  Alcotest.(check bool) "satisfies" true (ST.satisfies p sol.ST.levels);
+  let l name = Option.get (ST.find p sol name) in
+  Alcotest.(check int) "a at 2" 2 (l "a");
+  Alcotest.(check int) "b stays bottom" 0 (l "b")
+
+let huge_lhs () =
+  (* One association over 200 attributes with a single floored member. *)
+  let lat = Total.anonymous 8 in
+  let attrs = List.init 200 (Printf.sprintf "x%d") in
+  let csts =
+    [
+      Cst.make_exn ~lhs:attrs ~rhs:(Cst.Level 7);
+      Cst.simple "x0" (Cst.Level 7);
+    ]
+  in
+  let p = ST.compile_exn ~lattice:lat ~attrs csts in
+  let sol = ST.solve p in
+  Alcotest.(check bool) "satisfies" true (ST.satisfies p sol.ST.levels);
+  (* x0's floor already covers the association: everyone else at ⊥. *)
+  List.iteri
+    (fun i a ->
+      Alcotest.(check int) a (if i = 0 then 7 else 0) (Option.get (ST.find p sol a)))
+    attrs
+
+let long_chain_backprop () =
+  (* 5000-attribute simple chain: exercises the iterative DFS (no stack
+     overflow) and linear back-propagation. *)
+  let lat = Total.anonymous 4 in
+  let n = 5000 in
+  let attrs = List.init n (Printf.sprintf "c%d") in
+  let csts =
+    Cst.simple (Printf.sprintf "c%d" (n - 1)) (Cst.Level 3)
+    :: List.init (n - 1) (fun i ->
+           Cst.simple (Printf.sprintf "c%d" i) (Cst.Attr (Printf.sprintf "c%d" (i + 1))))
+  in
+  let p = ST.compile_exn ~lattice:lat ~attrs csts in
+  let sol = ST.solve p in
+  Alcotest.(check int) "head reaches the floor" 3 (Option.get (ST.find p sol "c0"))
+
+let suite =
+  [
+    case "tall lattice, simple cycle" tall_lattice_cycle;
+    case "tall lattice, complex cycle" tall_lattice_complex_cycle;
+    case "wide branching (2^16 levels)" wide_branching;
+    case "degenerate constraint shapes" degenerate_shapes;
+    case "huge left-hand side" huge_lhs;
+    case "5000-attribute chain" long_chain_backprop;
+  ]

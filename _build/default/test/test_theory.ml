@@ -1,0 +1,95 @@
+open Minup_lattice
+
+let case = Helpers.case
+let fig1b = Helpers.fig1b
+let lvl = Helpers.lvl
+let names lat ls = List.sort compare (List.map (Explicit.name lat) ls)
+
+let atoms_coatoms () =
+  Alcotest.(check (list string)) "atoms" [ "L2"; "L3" ] (names fig1b (Theory.atoms fig1b));
+  Alcotest.(check (list string)) "coatoms" [ "L4"; "L5" ] (names fig1b (Theory.coatoms fig1b))
+
+let irreducibles () =
+  (* join-irreducible: exactly one cover below — L2, L3, L5 (L4 = L2⊔L3,
+     L6 = L4⊔L5, L1 has none). *)
+  Alcotest.(check (list string)) "join irr" [ "L2"; "L3"; "L5" ]
+    (names fig1b (Theory.join_irreducibles fig1b));
+  Alcotest.(check (list string)) "meet irr" [ "L2"; "L4"; "L5" ]
+    (names fig1b (Theory.meet_irreducibles fig1b))
+
+let distributivity () =
+  (* Fig. 1(b) is distributive; the diamond M3 is modular but not
+     distributive; the pentagon N5 is neither. *)
+  Alcotest.(check bool) "fig1b distributive" true (Theory.is_distributive fig1b);
+  Alcotest.(check bool) "fig1b modular" true (Theory.is_modular fig1b);
+  let m3 =
+    Explicit.create_exn
+      ~names:[ "bot"; "x"; "y"; "z"; "top" ]
+      ~order:
+        [ ("bot", "x"); ("bot", "y"); ("bot", "z"); ("x", "top"); ("y", "top"); ("z", "top") ]
+  in
+  Alcotest.(check bool) "M3 not distributive" false (Theory.is_distributive m3);
+  Alcotest.(check bool) "M3 modular" true (Theory.is_modular m3);
+  let n5 =
+    Explicit.create_exn
+      ~names:[ "bot"; "a"; "b"; "c"; "top" ]
+      ~order:[ ("bot", "a"); ("a", "c"); ("bot", "b"); ("c", "top"); ("b", "top") ]
+  in
+  Alcotest.(check bool) "N5 not distributive" false (Theory.is_distributive n5);
+  Alcotest.(check bool) "N5 not modular" false (Theory.is_modular n5)
+
+let boolean () =
+  let cube =
+    Minup_workload.Gen_lattice.chain_product [ 1; 1; 1 ] (* 2^3 *)
+  in
+  Alcotest.(check bool) "cube boolean" true (Theory.is_boolean cube);
+  Alcotest.(check bool) "fig1b not boolean" false (Theory.is_boolean fig1b);
+  Alcotest.(check bool) "chain not boolean" false
+    (Theory.is_boolean (Explicit.chain [ "a"; "b"; "c" ]))
+
+let dual () =
+  let d = Theory.dual fig1b in
+  let module Laws = Check.Laws (Explicit) in
+  (match Laws.check d with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check string) "top is L1" "L1" (Explicit.name d (Explicit.top d));
+  Alcotest.(check string) "bottom is L6" "L6" (Explicit.name d (Explicit.bottom d));
+  (* Order reversed: L2 ⊑ L4 becomes L4 ⊑ L2. *)
+  Alcotest.(check bool) "reversed" true
+    (Explicit.leq d (Explicit.of_name_exn d "L4") (Explicit.of_name_exn d "L2"));
+  (* Dual of dual is the original order. *)
+  let dd = Theory.dual d in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "involution" (Explicit.leq fig1b a b)
+            (Explicit.leq dd
+               (Explicit.of_name_exn dd (Explicit.name fig1b a))
+               (Explicit.of_name_exn dd (Explicit.name fig1b b))))
+        (Explicit.all fig1b))
+    (Explicit.all fig1b)
+
+let duality_prop =
+  QCheck.Test.make ~count:40 ~name:"dual swaps atoms/coatoms and join/meet irreducibles"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let lat =
+        Minup_workload.Gen_lattice.random_closure_exn rng ~universe:5
+          ~n_generators:4 ~max_size:30
+      in
+      let d = Theory.dual lat in
+      let names_of l ls = List.sort compare (List.map (Explicit.name l) ls) in
+      names_of lat (Theory.atoms lat) = names_of d (Theory.coatoms d)
+      && names_of lat (Theory.join_irreducibles lat)
+         = names_of d (Theory.meet_irreducibles d))
+
+let suite =
+  [
+    case "atoms and coatoms" atoms_coatoms;
+    case "irreducibles" irreducibles;
+    case "distributivity and modularity" distributivity;
+    case "boolean lattices" boolean;
+    case "dual" dual;
+    Helpers.qcheck duality_prop;
+  ]

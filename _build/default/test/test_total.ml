@@ -1,0 +1,54 @@
+open Minup_lattice
+
+let case = Helpers.case
+let ladder = Total.create [ "U"; "C"; "S"; "TS" ]
+
+let structure () =
+  Alcotest.(check int) "cardinal" 4 (Total.cardinal ladder);
+  Alcotest.(check int) "height" 3 (Total.height ladder);
+  Alcotest.(check int) "top" 3 (Total.top ladder);
+  Alcotest.(check int) "bottom" 0 (Total.bottom ladder);
+  Alcotest.(check (list int)) "covers of 2" [ 1 ] (Total.covers_below ladder 2);
+  Alcotest.(check (list int)) "covers of 0" [] (Total.covers_below ladder 0);
+  Alcotest.(check bool) "C ⊑ S" true (Total.leq ladder 1 2);
+  Alcotest.(check bool) "S ⊑ C" false (Total.leq ladder 2 1);
+  Alcotest.(check int) "lub" 2 (Total.lub ladder 1 2);
+  Alcotest.(check int) "glb" 1 (Total.glb ladder 1 2)
+
+let names () =
+  Alcotest.(check (option int)) "of_name" (Some 3) (Total.of_name ladder "TS");
+  Alcotest.(check (option int)) "unknown" None (Total.of_name ladder "Z");
+  Alcotest.(check string) "name" "S" (Total.name ladder 2);
+  Alcotest.(check (option int)) "parse" (Some 1) (Total.level_of_string ladder "C")
+
+let validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Total.create: empty")
+    (fun () -> ignore (Total.create []));
+  Alcotest.check_raises "dup" (Invalid_argument "Total.create: duplicate name \"x\"")
+    (fun () -> ignore (Total.create [ "x"; "x" ]))
+
+let laws () =
+  let module Laws = Check.Laws (Total) in
+  match Laws.check ladder with Ok () -> () | Error m -> Alcotest.fail m
+
+let residual_least_prop =
+  QCheck.Test.make ~count:200 ~name:"total residual is least sufficient level"
+    QCheck.(pair (int_bound 3) (int_bound 3))
+    (fun (target, others) ->
+      let m = Total.residual ladder ~target ~others in
+      Total.leq ladder target (Total.lub ladder m others)
+      && List.for_all
+           (fun m' ->
+             if Total.leq ladder target (Total.lub ladder m' others) then
+               Total.leq ladder m m'
+             else true)
+           [ 0; 1; 2; 3 ])
+
+let suite =
+  [
+    case "structure" structure;
+    case "names" names;
+    case "validation" validation;
+    case "lattice laws" laws;
+    Helpers.qcheck residual_least_prop;
+  ]

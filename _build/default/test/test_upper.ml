@@ -1,0 +1,167 @@
+(* Upper-bound constraints (§6). *)
+
+open Minup_lattice
+open Helpers
+
+let case = Helpers.case
+
+let trivial_inconsistency () =
+  (* The paper's smallest example: {A ⊒ ⊤, A ⊑ ⊥}. *)
+  let p = S.compile_exn ~lattice:fig1b [ level_cst "A" "L6" ] in
+  match S.solve_with_bounds p [ ("A", lvl "L1") ] with
+  | Error (S.Unsatisfiable _) -> ()
+  | Error (S.Unknown_attr _) -> Alcotest.fail "wrong inconsistency"
+  | Ok _ -> Alcotest.fail "accepted A ⊒ ⊤ ∧ A ⊑ ⊥"
+
+let unknown_attr () =
+  let p = S.compile_exn ~lattice:fig1b [ level_cst "A" "L2" ] in
+  match S.solve_with_bounds p [ ("nope", lvl "L3") ] with
+  | Error (S.Unknown_attr "nope") -> ()
+  | _ -> Alcotest.fail "missed unknown attribute"
+
+let bounds_propagate () =
+  (* b ⊒ a and b ⊑ L3 cap a at L3 as well. *)
+  let p = S.compile_exn ~lattice:fig1b [ attr_cst "b" "a" ] in
+  match S.derive_upper_bounds p [ ("b", lvl "L3") ] with
+  | Error _ -> Alcotest.fail "unexpected inconsistency"
+  | Ok ub ->
+      let id x = Option.get (Minup_constraints.Problem.attr_id p.S.prob x) in
+      Alcotest.check (level_t fig1b) "b capped" (lvl "L3") ub.(id "b");
+      Alcotest.check (level_t fig1b) "a capped via constraint" (lvl "L3")
+        ub.(id "a")
+
+let complex_bound_propagation () =
+  (* lub{a,b} ⊒ c with a ⊑ L2, b ⊑ L3: c is capped at lub(L2,L3) = L4. *)
+  let p = S.compile_exn ~lattice:fig1b [ infer_cst [ "a"; "b" ] "c" ] in
+  match S.derive_upper_bounds p [ ("a", lvl "L2"); ("b", lvl "L3") ] with
+  | Error _ -> Alcotest.fail "unexpected inconsistency"
+  | Ok ub ->
+      let id x = Option.get (Minup_constraints.Problem.attr_id p.S.prob x) in
+      Alcotest.check (level_t fig1b) "c capped at L4" (lvl "L4") ub.(id "c")
+
+let detect_deep_inconsistency () =
+  (* a ⊑ L2, a ⊒ b, b ⊒ L3: pushing the bound through a hits the floor. *)
+  let p =
+    S.compile_exn ~lattice:fig1b [ attr_cst "a" "b"; level_cst "b" "L3" ]
+  in
+  match S.solve_with_bounds p [ ("a", lvl "L2") ] with
+  | Error (S.Unsatisfiable _) -> ()
+  | _ -> Alcotest.fail "missed propagated inconsistency"
+
+let consistent_solve () =
+  (* Visibility guarantee: name ⊑ L4 while {name, salary} ⊒ L6. *)
+  let csts = [ assoc_cst [ "name"; "salary" ] "L6"; level_cst "salary" "L3" ] in
+  let p = S.compile_exn ~lattice:fig1b csts in
+  let bounds = [ ("name", lvl "L4") ] in
+  match S.solve_with_bounds p bounds with
+  | Error _ -> Alcotest.fail "unexpected inconsistency"
+  | Ok sol ->
+      Alcotest.(check bool) "satisfies" true (S.satisfies p sol.S.levels);
+      let l a = Option.get (S.find p sol a) in
+      Alcotest.(check bool) "bound respected" true
+        (Explicit.leq fig1b (l "name") (lvl "L4"));
+      (* salary must absorb the association requirement: lub must be L6. *)
+      Alcotest.check (level_t fig1b) "lub reaches L6" (lvl "L6")
+        (Explicit.lub fig1b (l "name") (l "salary"))
+
+let bounded_minimality () =
+  (* Among assignments below the bounds, the solver's answer is minimal. *)
+  let csts = [ assoc_cst [ "a"; "b" ] "L6"; level_cst "b" "L2" ] in
+  let p = S.compile_exn ~lattice:fig1b csts in
+  let bounds = [ ("b", lvl "L4") ] in
+  match S.solve_with_bounds p bounds with
+  | Error _ -> Alcotest.fail "unexpected inconsistency"
+  | Ok sol ->
+      Alcotest.(check bool) "satisfies" true (S.satisfies p sol.S.levels);
+      (match V.is_minimal_solution p sol.S.levels with
+      | Ok b -> Alcotest.(check bool) "minimal" true b
+      | Error `Too_large -> Alcotest.fail "oracle too large");
+      let id x = Option.get (Minup_constraints.Problem.attr_id p.S.prob x) in
+      Alcotest.(check bool) "b within bound" true
+        (Explicit.leq fig1b sol.S.levels.(id "b") (lvl "L4"))
+
+let bounds_on_cycles () =
+  (* A cycle capped from above and floored from below. *)
+  let csts =
+    [ attr_cst "x" "y"; attr_cst "y" "x"; level_cst "x" "L2" ]
+  in
+  let p = S.compile_exn ~lattice:fig1b csts in
+  match S.solve_with_bounds p [ ("y", lvl "L4") ] with
+  | Error _ -> Alcotest.fail "unexpected inconsistency"
+  | Ok sol ->
+      Alcotest.(check bool) "satisfies" true (S.satisfies p sol.S.levels);
+      List.iter
+        (fun (a, l) ->
+          Alcotest.(check string) (a ^ " at L2") "L2"
+            (Explicit.level_to_string fig1b l))
+        sol.S.assignment
+
+let no_bounds_equals_plain_solve () =
+  let p =
+    S.compile_exn ~lattice:fig1b ~attrs:Minup_core.Paper.fig2_attrs
+      Minup_core.Paper.fig2_constraints
+  in
+  match S.solve_with_bounds p [] with
+  | Error _ -> Alcotest.fail "inconsistent without bounds?"
+  | Ok sol ->
+      let plain = S.solve p in
+      Alcotest.(check bool) "same assignment" true
+        (V.equal_assignment fig1b plain.S.levels sol.S.levels)
+
+let random_bounded_prop =
+  QCheck.Test.make ~count:40 ~name:"random bounded: satisfies, capped, minimal"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let lat =
+        Minup_workload.Gen_lattice.random_closure_exn rng ~universe:4
+          ~n_generators:3 ~max_size:12
+      in
+      let spec =
+        Minup_workload.Gen_constraints.
+          {
+            n_attrs = 5;
+            n_simple = 4;
+            n_complex = 1;
+            max_lhs = 2;
+            n_constants = 2;
+            constants = Explicit.all lat;
+          }
+      in
+      let attrs, csts = Minup_workload.Gen_constraints.acyclic rng spec in
+      let p = S.compile_exn ~lattice:lat ~attrs csts in
+      let bound_attr = Minup_workload.Prng.pick rng attrs in
+      let bound_level =
+        Minup_workload.Prng.pick rng (Explicit.all lat)
+      in
+      match S.solve_with_bounds p [ (bound_attr, bound_level) ] with
+      | Error (S.Unsatisfiable _) ->
+          (* Must really be unsatisfiable under the bound: no solution of
+             the oracle respects it. *)
+          let id = Option.get (Minup_constraints.Problem.attr_id p.S.prob bound_attr) in
+          (match V.all_solutions ~cap:150_000 p with
+          | Error `Too_large -> true
+          | Ok sols ->
+              not
+                (List.exists
+                   (fun s -> Explicit.leq lat s.(id) bound_level)
+                   sols))
+      | Error (S.Unknown_attr _) -> false
+      | Ok sol ->
+          let id = Option.get (Minup_constraints.Problem.attr_id p.S.prob bound_attr) in
+          S.satisfies p sol.S.levels
+          && Explicit.leq lat sol.S.levels.(id) bound_level)
+
+let suite =
+  [
+    case "trivial inconsistency" trivial_inconsistency;
+    case "unknown attribute" unknown_attr;
+    case "bounds propagate backward" bounds_propagate;
+    case "bounds propagate through complex" complex_bound_propagation;
+    case "deep inconsistency detected" detect_deep_inconsistency;
+    case "consistent bounded solve" consistent_solve;
+    case "bounded minimality" bounded_minimality;
+    case "bounds on cycles" bounds_on_cycles;
+    case "no bounds = plain solve" no_bounds_equals_plain_solve;
+    Helpers.qcheck random_bounded_prop;
+  ]

@@ -1,0 +1,67 @@
+(* The verification oracle itself. *)
+
+open Helpers
+
+let case = Helpers.case
+
+let dominance () =
+  let a = [| lvl "L4"; lvl "L2" |] and b = [| lvl "L2"; lvl "L2" |] in
+  Alcotest.(check bool) "a dominates b" true (V.dominates fig1b a b);
+  Alcotest.(check bool) "b does not dominate a" false (V.dominates fig1b b a);
+  let c = [| lvl "L5"; lvl "L1" |] in
+  Alcotest.(check bool) "incomparable 1" false (V.dominates fig1b a c);
+  Alcotest.(check bool) "incomparable 2" false (V.dominates fig1b c a)
+
+let minimal_among () =
+  let sols =
+    [ [| lvl "L2" |]; [| lvl "L3" |]; [| lvl "L4" |]; [| lvl "L6" |] ]
+  in
+  let min = V.minimal_among fig1b sols in
+  Alcotest.(check int) "two minimal" 2 (List.length min);
+  Alcotest.(check bool) "L2 minimal" true
+    (List.exists (fun s -> V.equal_assignment fig1b s [| lvl "L2" |]) min);
+  Alcotest.(check bool) "L4 not minimal" false
+    (List.exists (fun s -> V.equal_assignment fig1b s [| lvl "L4" |]) min)
+
+let all_solutions_counts () =
+  (* a ⊒ L5 over fig1b: solutions are a ∈ {L5, L6}. *)
+  let p = S.compile_exn ~lattice:fig1b [ level_cst "a" "L5" ] in
+  match V.all_solutions p with
+  | Ok sols -> Alcotest.(check int) "two solutions" 2 (List.length sols)
+  | Error `Too_large -> Alcotest.fail "too large"
+
+let non_minimal_detected () =
+  let p = S.compile_exn ~lattice:fig1b [ level_cst "a" "L2" ] in
+  Alcotest.(check bool) "L6 not minimal" true
+    (V.is_minimal_solution p [| lvl "L6" |] = Ok false);
+  Alcotest.(check bool) "L2 minimal" true
+    (V.is_minimal_solution p [| lvl "L2" |] = Ok true);
+  (* An assignment violating the constraint is not a minimal solution. *)
+  Alcotest.(check bool) "violating not minimal" true
+    (V.is_minimal_solution p [| lvl "L1" |] = Ok false)
+
+let simultaneous_lowering_needed () =
+  (* In the cycle a=b, (L3,L3) satisfies but is not minimal even though no
+     single attribute can be lowered alone — the oracle must catch it. *)
+  let p =
+    S.compile_exn ~lattice:fig1b [ attr_cst "a" "b"; attr_cst "b" "a" ]
+  in
+  Alcotest.(check bool) "joint lowering detected" true
+    (V.is_minimal_solution p [| lvl "L3"; lvl "L3" |] = Ok false)
+
+let cap_guard () =
+  let attrs = List.init 12 (Printf.sprintf "a%d") in
+  let p = S.compile_exn ~lattice:fig1b ~attrs [] in
+  match V.all_solutions ~cap:1000 p with
+  | Error `Too_large -> ()
+  | Ok _ -> Alcotest.fail "cap did not trip"
+
+let suite =
+  [
+    case "pointwise dominance" dominance;
+    case "minimal_among" minimal_among;
+    case "all_solutions" all_solutions_counts;
+    case "non-minimal detected" non_minimal_detected;
+    case "simultaneous lowering needed" simultaneous_lowering_needed;
+    case "cap guard" cap_guard;
+  ]

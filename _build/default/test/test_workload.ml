@@ -1,0 +1,120 @@
+(* PRNG determinism and generator well-formedness. *)
+
+open Minup_lattice
+module Prng = Minup_workload.Prng
+module Gen_lattice = Minup_workload.Gen_lattice
+module Gen_constraints = Minup_workload.Gen_constraints
+module Problem = Minup_constraints.Problem
+module Stats = Minup_constraints.Stats
+
+let case = Helpers.case
+
+let prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let seq r = List.init 20 (fun _ -> Prng.int r 1000) in
+  Alcotest.(check (list int)) "same stream" (seq a) (seq b);
+  let c = Prng.create 43 in
+  Alcotest.(check bool) "different seed differs" true (seq (Prng.create 42) <> seq c)
+
+let prng_bounds () =
+  let r = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Prng.int r 7 in
+    if x < 0 || x >= 7 then Alcotest.fail "out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let f = Prng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of bounds"
+  done;
+  Alcotest.check_raises "nonpositive" (Invalid_argument "Prng.int: nonpositive bound")
+    (fun () -> ignore (Prng.int r 0))
+
+let prng_shuffle_permutes () =
+  let r = Prng.create 5 in
+  let arr = Array.init 30 Fun.id in
+  Prng.shuffle r arr;
+  Alcotest.(check (list int)) "permutation" (List.init 30 Fun.id)
+    (List.sort compare (Array.to_list arr));
+  Alcotest.(check bool) "actually shuffled" true (arr <> Array.init 30 Fun.id)
+
+let prng_sample_distinct () =
+  let r = Prng.create 9 in
+  let s = Prng.sample r 5 (List.init 10 Fun.id) in
+  Alcotest.(check int) "5 drawn" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s))
+
+let spec =
+  Gen_constraints.
+    {
+      n_attrs = 20;
+      n_simple = 18;
+      n_complex = 6;
+      max_lhs = 4;
+      n_constants = 5;
+      constants = [ 0; 1; 2 ];
+    }
+
+let acyclic_is_acyclic () =
+  for seed = 0 to 20 do
+    let _, csts = Gen_constraints.acyclic (Prng.create seed) spec in
+    let p = Problem.compile_exn csts in
+    Alcotest.(check bool) "acyclic" true (Problem.is_acyclic p)
+  done
+
+let single_scc_is_one_component () =
+  for seed = 0 to 20 do
+    let attrs, csts = Gen_constraints.single_scc (Prng.create seed) spec in
+    let p = Problem.compile_exn ~attrs csts in
+    let s = Stats.compute p in
+    Alcotest.(check int) "one SCC over the attrs" 1 s.Stats.n_sccs;
+    Alcotest.(check int) "all attrs cyclic" spec.Gen_constraints.n_attrs
+      s.Stats.n_cyclic_attrs
+  done
+
+let mixed_has_islands () =
+  let attrs, csts =
+    Gen_constraints.mixed (Prng.create 3) spec ~n_islands:3 ~island_size:4
+  in
+  let p = Problem.compile_exn ~attrs csts in
+  let s = Stats.compute p in
+  Alcotest.(check bool) "cyclic attrs = islands" true (s.Stats.n_cyclic_attrs = 12);
+  Alcotest.(check int) "largest SCC = island" 4 s.Stats.largest_scc
+
+let chain_product_laws () =
+  let lat = Gen_lattice.chain_product [ 2; 1; 1 ] in
+  Alcotest.(check int) "size" 12 (Explicit.cardinal lat);
+  Alcotest.(check int) "height" 4 (Explicit.height lat);
+  let module Laws = Minup_lattice.Check.Laws (Explicit) in
+  match Laws.check lat with Ok () -> () | Error m -> Alcotest.fail m
+
+let diamond_stack_laws () =
+  let lat = Gen_lattice.diamond_stack 3 in
+  Alcotest.(check int) "size" 10 (Explicit.cardinal lat);
+  Alcotest.(check int) "height" 6 (Explicit.height lat);
+  let module Laws = Minup_lattice.Check.Laws (Explicit) in
+  match Laws.check lat with Ok () -> () | Error m -> Alcotest.fail m
+
+let random_closure_laws =
+  QCheck.Test.make ~count:40 ~name:"random closure lattices satisfy the laws"
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Prng.create seed in
+      let lat =
+        Gen_lattice.random_closure_exn rng ~universe:5 ~n_generators:4 ~max_size:40
+      in
+      let module Laws = Minup_lattice.Check.Laws (Explicit) in
+      Laws.check ~max_size:40 lat = Ok ())
+
+let suite =
+  [
+    case "prng determinism" prng_deterministic;
+    case "prng bounds" prng_bounds;
+    case "prng shuffle permutes" prng_shuffle_permutes;
+    case "prng sample distinct" prng_sample_distinct;
+    case "acyclic generator" acyclic_is_acyclic;
+    case "single SCC generator" single_scc_is_one_component;
+    case "mixed generator" mixed_has_islands;
+    case "chain product" chain_product_laws;
+    case "diamond stack" diamond_stack_laws;
+    Helpers.qcheck random_closure_laws;
+  ]
