@@ -455,6 +455,132 @@ let ext_verify () =
     \   the same answer in polynomial time — see Explain's documentation)"
 
 (* ------------------------------------------------------------------ *)
+(* THROUGHPUT — batch-engine scaling across worker counts (PR 1).      *)
+
+let bench_json_path = "BENCH_PR1.json"
+
+let throughput () =
+  section "THROUGHPUT: parallel batch engine (writes BENCH_PR1.json)";
+  let module Engine = Minup_core.Engine.Make (Total) in
+  let jobs_levels = [ 1; 2; 4; 8 ] in
+  let workloads =
+    [
+      ("acyclic", 2_000, 48, fun seed -> acyclic_workload seed 2_000);
+      ("cyclic", 200, 48, fun seed -> cyclic_workload seed 200);
+    ]
+  in
+  let results = ref [] in
+  let rows =
+    List.concat_map
+      (fun (name, n_attrs, n_problems, gen) ->
+        let problems =
+          Array.init n_problems (fun i ->
+              let attrs, csts = gen (1_000 + i) in
+              ST.compile_exn ~lattice:ladder16 ~attrs csts)
+        in
+        (* The jobs=1 run is the reference every parallel run must equal. *)
+        let reference = Engine.solve_batch ~jobs:1 problems in
+        List.map
+          (fun jobs ->
+            let best = ref infinity and report = ref reference in
+            for _ = 1 to 3 do
+              let t0 = Unix.gettimeofday () in
+              let r = Engine.solve_batch ~jobs problems in
+              let dt = Unix.gettimeofday () -. t0 in
+              if dt < !best then best := dt;
+              report := r
+            done;
+            let r = !report in
+            Array.iteri
+              (fun i (s : ST.solution) ->
+                if s.ST.levels <> reference.Engine.solutions.(i).ST.levels then
+                  failwith
+                    (Printf.sprintf
+                       "throughput: jobs=%d diverged from the sequential \
+                        solve on %s problem %d"
+                       jobs name i))
+              r.Engine.solutions;
+            let wall_ms = !best *. 1e3 in
+            let sps = float_of_int n_problems /. !best in
+            let lub = r.Engine.stats.Instr.lub
+            and leq = r.Engine.stats.Instr.leq in
+            results :=
+              (name, n_attrs, n_problems, jobs, wall_ms, sps, lub, leq)
+              :: !results;
+            [
+              name;
+              string_of_int n_attrs;
+              string_of_int jobs;
+              Printf.sprintf "%.1f" wall_ms;
+              Printf.sprintf "%.1f" sps;
+              string_of_int lub;
+              string_of_int leq;
+            ])
+          jobs_levels)
+      workloads
+  in
+  table
+    ~header:[ "workload"; "attrs"; "jobs"; "wall ms"; "solves/s"; "lub"; "leq" ]
+    rows;
+  let results = List.rev !results in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"benchmark\": \"throughput\",\n";
+  Printf.bprintf buf "  \"recommended_domains\": %d,\n"
+    (Domain.recommended_domain_count ());
+  Buffer.add_string buf "  \"results\": [\n";
+  let n_results = List.length results in
+  List.iteri
+    (fun i (name, n_attrs, n_problems, jobs, wall_ms, sps, lub, leq) ->
+      Printf.bprintf buf
+        "    {\"experiment\": %S, \"n_attrs\": %d, \"n_problems\": %d, \
+         \"jobs\": %d, \"wall_ms\": %.3f, \"solves_per_sec\": %.1f, \
+         \"lub\": %d, \"leq\": %d}%s\n"
+        name n_attrs n_problems jobs wall_ms sps lub leq
+        (if i = n_results - 1 then "" else ","))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out bench_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf
+    "wrote %s  (parallel output verified equal to sequential; this host \
+     recommends %d domains)\n"
+    bench_json_path
+    (Domain.recommended_domain_count ())
+
+(* A fast jobs=2 parity check for CI (dev/ci.sh): small batches, no JSON,
+   nonzero exit on the first parallel/sequential divergence. *)
+let throughput_smoke () =
+  section "THROUGHPUT-SMOKE: jobs=2 parity vs sequential (CI)";
+  let module Engine = Minup_core.Engine.Make (Total) in
+  let compile gen seed0 count n =
+    Array.init count (fun i ->
+        let attrs, csts = gen (seed0 + i) n in
+        ST.compile_exn ~lattice:ladder16 ~attrs csts)
+  in
+  List.iter
+    (fun (name, problems) ->
+      let seq = Engine.solve_batch ~jobs:1 problems in
+      let par = Engine.solve_batch ~jobs:2 problems in
+      Array.iteri
+        (fun i (s : ST.solution) ->
+          if s.ST.levels <> seq.Engine.solutions.(i).ST.levels then
+            failwith
+              (Printf.sprintf
+                 "throughput-smoke: jobs=2 diverged from sequential on %s \
+                  problem %d"
+                 name i))
+        par.Engine.solutions;
+      Printf.printf "%-8s %2d problems: jobs=2 output = sequential\n" name
+        (Array.length problems))
+    [
+      ("acyclic", compile acyclic_workload 2_000 12 300);
+      ("cyclic", compile cyclic_workload 3_000 12 60);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -468,6 +594,8 @@ let experiments =
     ("ablation-backtrack", ablation_backtrack);
     ("qian-quality", qian_quality);
     ("ext-verify", ext_verify);
+    ("throughput", throughput);
+    ("throughput-smoke", throughput_smoke);
   ]
 
 let () =

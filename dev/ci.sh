@@ -1,0 +1,13 @@
+#!/bin/sh
+# Repo CI: build everything, run the full test suite, then a fast parity
+# smoke of the parallel batch engine (jobs=2 vs sequential on small
+# acyclic + cyclic batches; the experiment exits nonzero on the first
+# divergence).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bench/main.exe -- throughput-smoke
+
+echo "ci: OK"

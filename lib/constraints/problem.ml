@@ -5,7 +5,12 @@ type 'lvl t = {
   attr_names : string array;
   attr_index : (string, int) Hashtbl.t;
   csts : 'lvl cst array;
+  lhs_len : int array;
+  complex : bool array;
+  complex_idx : int array;
+  n_complex : int;
   constr_of : int list array;
+  complex_constr_of : int array array;
   incoming : int list array;
   dropped : 'lvl Cst.t list;
 }
@@ -57,6 +62,10 @@ let compile ?(attrs = []) ?(strict = false) csts =
     List.iter (fun c -> List.iter (fun a -> ignore (intern a)) (Cst.attrs c)) dropped;
     let n = !next in
     let csts = Array.of_list compiled in
+    (* Per-constraint metadata the solver's hot loop would otherwise
+       recompute on every visit. *)
+    let lhs_len = Array.map (fun c -> Array.length c.lhs) csts in
+    let complex = Array.map (fun len -> len > 1) lhs_len in
     let constr_of = Array.make n [] and incoming = Array.make n [] in
     Array.iteri
       (fun ci c ->
@@ -66,12 +75,42 @@ let compile ?(attrs = []) ?(strict = false) csts =
         | Rlevel _ -> ())
       csts;
     let ascending = Array.map List.rev in
+    let constr_of = ascending constr_of in
+    (* Compact numbering of the complex constraints: the solver keeps one
+       incremental lhs-lub aggregate per *complex* constraint, so give them
+       dense ids ([complex_idx], -1 for simple ones) and index the complex
+       subset of [constr_of] directly by those dense ids — walking it skips
+       the (typically dominant) simple constraints. *)
+    let complex_idx = Array.make (Array.length csts) (-1) in
+    let n_complex = ref 0 in
+    Array.iteri
+      (fun ci is_complex ->
+        if is_complex then begin
+          complex_idx.(ci) <- !n_complex;
+          incr n_complex
+        end)
+      complex;
+    let complex_constr_of =
+      Array.map
+        (fun cis ->
+          Array.of_list
+            (List.filter_map
+               (fun ci ->
+                 if complex.(ci) then Some complex_idx.(ci) else None)
+               cis))
+        constr_of
+    in
     Ok
       {
         attr_names = Array.of_list (List.rev !names);
         attr_index = index;
         csts;
-        constr_of = ascending constr_of;
+        lhs_len;
+        complex;
+        complex_idx;
+        n_complex = !n_complex;
+        constr_of;
+        complex_constr_of;
         incoming = ascending incoming;
         dropped;
       }
@@ -86,7 +125,7 @@ let n_attrs p = Array.length p.attr_names
 let n_csts p = Array.length p.csts
 
 let total_size p =
-  Array.fold_left (fun acc c -> acc + Array.length c.lhs + 1) 0 p.csts
+  Array.fold_left (fun acc len -> acc + len + 1) 0 p.lhs_len
 
 let attr_name p a = p.attr_names.(a)
 let attr_id p a = Hashtbl.find_opt p.attr_index a

@@ -16,9 +16,22 @@ type 'lvl t = private {
   attr_names : string array;
   attr_index : (string, int) Hashtbl.t;
   csts : 'lvl cst array;
+  lhs_len : int array;
+      (** [lhs_len.(ci) = Array.length csts.(ci).lhs], precomputed so the
+          solver's hot loop never recomputes it *)
+  complex : bool array;  (** [complex.(ci)] iff [lhs_len.(ci) > 1] *)
+  complex_idx : int array;
+      (** dense numbering of the complex constraints: [complex_idx.(ci)] is
+          a dense id in [0 .. n_complex-1], or [-1] if [ci] is simple *)
+  n_complex : int;  (** number of complex constraints *)
   constr_of : int list array;
       (** [constr_of.(a)] — indices of constraints with [a] in their lhs,
           ascending *)
+  complex_constr_of : int array array;
+      (** [complex_constr_of.(a)] — dense ids ([complex_idx]) of the complex
+          constraints with [a] in their lhs, ascending; the solver's
+          incremental lhs-lub aggregates walk this, skipping the (typically
+          dominant) simple constraints *)
   incoming : int list array;
       (** [incoming.(a)] — indices of constraints whose rhs is [a],
           ascending *)

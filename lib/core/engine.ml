@@ -1,0 +1,64 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+module Make (L : Minup_lattice.Lattice_intf.S) = struct
+  module Solver = Solver.Make (L)
+
+  type report = {
+    solutions : Solver.solution array;
+    stats : Instr.t;
+    jobs : int;
+  }
+
+  (* Work distribution is a single atomic counter: workers claim the next
+     unsolved index until the batch is exhausted.  Dynamic (rather than
+     striped) assignment keeps all domains busy when problem sizes are
+     skewed; results land at their input index, so the output order is the
+     input order no matter which domain solved what. *)
+  let solve_batch ?residual ?upgrade_preference ?jobs problems =
+    let n = Array.length problems in
+    let jobs =
+      match jobs with
+      | Some j when j < 1 -> invalid_arg "Engine.solve_batch: jobs < 1"
+      | Some j -> min j (max 1 n)
+      | None -> min (default_jobs ()) (max 1 n)
+    in
+    let solve p = Solver.solve ?residual ?upgrade_preference p in
+    let solutions =
+      if jobs = 1 || n <= 1 then Array.map solve problems
+      else begin
+        let results = Array.make n None in
+        let next = Atomic.make 0 in
+        let worker () =
+          let continue = ref true in
+          while !continue do
+            let i = Atomic.fetch_and_add next 1 in
+            if i >= n then continue := false
+            else begin
+              let r =
+                match solve problems.(i) with
+                | s -> Ok s
+                | exception e -> Error (e, Printexc.get_raw_backtrace ())
+              in
+              results.(i) <- Some r
+            end
+          done
+        in
+        (* The calling domain is worker number [jobs]; only [jobs - 1] are
+           spawned. *)
+        let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        Array.iter Domain.join spawned;
+        Array.map
+          (function
+            | Some (Ok s) -> s
+            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+            | None -> assert false)
+          results
+      end
+    in
+    {
+      solutions;
+      stats = Instr.sum (Array.map (fun s -> s.Solver.stats) solutions);
+      jobs;
+    }
+end

@@ -1,0 +1,52 @@
+(** Parallel batch-solving engine.
+
+    Algorithm 3.1 solves one problem on one core; classification pipelines
+    (schema sweeps, workload benchmarks, impact analyses over many candidate
+    constraint sets) solve thousands of {e independent} problems.  The
+    engine fans a batch of compiled problems out over OCaml 5 domains:
+    workers claim problems off a shared atomic counter, so skewed problem
+    sizes cannot idle a domain, and every result is stored at its input
+    index, so the output is deterministic — [solutions.(i)] is exactly what
+    [Solver.solve problems.(i)] returns, whatever the interleaving.
+
+    Problems may share a lattice value: lattice state is read-only during
+    solving except for {!Minup_lattice.Explicit}'s lub/glb memo, whose
+    single-word slots are safe under unsynchronised concurrent use.
+
+    There is no [?on_event] here: trace callbacks from concurrent solves
+    would interleave nondeterministically.  Solve traced problems one at a
+    time with {!Solver.Make.solve}. *)
+
+(** [Domain.recommended_domain_count ()], floored at 1 — the default worker
+    count. *)
+val default_jobs : unit -> int
+
+module Make (L : Minup_lattice.Lattice_intf.S) : sig
+  (** The solver instance the engine drives.  Compile problems and run
+      sequential (or traced) solves through this module; its [problem] and
+      [solution] types are the ones the batch API uses. *)
+  module Solver : module type of Solver.Make (L)
+
+  type report = {
+    solutions : Solver.solution array;
+        (** [solutions.(i)] solves [problems.(i)] *)
+    stats : Instr.t;  (** component-wise sum over the whole batch *)
+    jobs : int;  (** worker count actually used *)
+  }
+
+  (** [solve_batch ?residual ?upgrade_preference ?jobs problems] solves
+      every problem and returns the results in input order.  [jobs]
+      defaults to {!default_jobs}[ ()] and is clamped to the batch size;
+      [jobs = 1] solves inline with no domain spawns.  [residual] and
+      [upgrade_preference] are passed to every solve (see
+      {!Solver.Make.solve}).  If a solve raises, the exception is re-raised
+      (with its backtrace) after all workers finish.
+
+      @raise Invalid_argument if [jobs < 1]. *)
+  val solve_batch :
+    ?residual:(L.t -> target:L.level -> others:L.level -> L.level) ->
+    ?upgrade_preference:(string -> int) ->
+    ?jobs:int ->
+    Solver.problem array ->
+    report
+end

@@ -20,6 +20,21 @@ let create () =
   }
 
 let copy t = { t with lub = t.lub }
+
+let add ~into t =
+  into.lub <- into.lub + t.lub;
+  into.glb <- into.glb + t.glb;
+  into.leq <- into.leq + t.leq;
+  into.minlevel_calls <- into.minlevel_calls + t.minlevel_calls;
+  into.try_calls <- into.try_calls + t.try_calls;
+  into.try_iterations <- into.try_iterations + t.try_iterations;
+  into.constraint_checks <- into.constraint_checks + t.constraint_checks
+
+let sum ts =
+  let acc = create () in
+  Array.iter (fun t -> add ~into:acc t) ts;
+  acc
+
 let lattice_ops t = t.lub + t.glb + t.leq
 
 let pp ppf t =

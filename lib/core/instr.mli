@@ -18,6 +18,13 @@ type t = {
 val create : unit -> t
 val copy : t -> t
 
+(** [add ~into t] accumulates [t]'s counters into [into]. *)
+val add : into:t -> t -> unit
+
+(** Component-wise total of a batch of counters (e.g. one per solve when
+    aggregating a {!Engine} run). *)
+val sum : t array -> t
+
 (** Total lattice operations ([lub + glb + leq]). *)
 val lattice_ops : t -> int
 

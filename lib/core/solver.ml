@@ -40,27 +40,66 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
      attribute (⊤, or the derived upper bound); [bounds_mode] forces
      Minlevel to run for every attribute of every complex constraint. *)
   let solve_internal ?(on_event = fun _ -> ()) ?residual ?upgrade_preference
-      ~init ~bounds_mode { lat; prob; prio } =
+      ?(check_aggregate = false) ~init ~bounds_mode { lat; prob; prio } =
     let n = Problem.n_attrs prob in
     let csts = prob.Problem.csts in
     let stats = Instr.create () in
+    let bottom = L.bottom lat in
+    let top = L.top lat in
+    (* Instrumented lattice operations.  ⊥ is the identity of lub and ⊤ the
+       identity of glb, so those cases skip the lattice operation (and the
+       counter) entirely — folds that start from ⊥, and glbs against
+       still-at-⊤ attributes, are frequent enough in the algorithm that this
+       shortcut alone removes a sizable slice of the lattice-op bill.  The
+       test is *physical* equality: one compare instruction, exact for
+       immediate level representations (every int-backed lattice), and for
+       boxed levels merely a missed shortcut — [L.lub]/[L.glb] then handle
+       the identity case themselves, so results are unchanged. *)
     let lub a b =
-      stats.Instr.lub <- stats.Instr.lub + 1;
-      L.lub lat a b
+      if a == bottom then b
+      else if b == bottom then a
+      else begin
+        stats.Instr.lub <- stats.Instr.lub + 1;
+        L.lub lat a b
+      end
     in
     let glb a b =
-      stats.Instr.glb <- stats.Instr.glb + 1;
-      L.glb lat a b
+      if a == top then b
+      else if b == top then a
+      else begin
+        stats.Instr.glb <- stats.Instr.glb + 1;
+        L.glb lat a b
+      end
     in
     let leq a b =
       stats.Instr.leq <- stats.Instr.leq + 1;
       L.leq lat a b
     in
-    let bottom = L.bottom lat in
     let lam = Array.init n init in
     let done_ = Array.make n false in
-    let unlabeled =
-      Array.map (fun (c : _ Problem.cst) -> Array.length c.lhs) csts
+    let unlabeled = Array.copy prob.Problem.lhs_len in
+    (* Incremental left-hand-side lub aggregates, one per *complex*
+       constraint (indexed by [Problem.complex_idx]): [agg.(k)] is the lub
+       of the levels of the finalized lhs members of the constraint with
+       dense id [k].  An attribute's level never changes once finalized
+       (back-assigned attributes are final immediately; forward lowering
+       only ever touches not-yet-done attributes), so each member enters
+       the aggregate exactly once and [Minlevel] no longer refolds the
+       whole lhs on every call.  [finalize] is reached exactly once per
+       attribute — from the two mutually exclusive branches of the Bigloop
+       body — so no guard flag is needed, and ⊥ levels are skipped outright
+       since ⊥ is the lub identity. *)
+    let agg = Array.make prob.Problem.n_complex bottom in
+    let complex_constr_of = prob.Problem.complex_constr_of in
+    let finalize a =
+      let la = lam.(a) in
+      if la != bottom then begin
+        let ks = complex_constr_of.(a) in
+        for i = 0 to Array.length ks - 1 do
+          let k = ks.(i) in
+          agg.(k) <- lub agg.(k) la
+        done
+      end
     in
     let rhs_level (c : _ Problem.cst) =
       match c.rhs with Problem.Rlevel l -> l | Problem.Rattr b -> lam.(b)
@@ -68,15 +107,47 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
     let rhs_done (c : _ Problem.cst) =
       match c.rhs with Problem.Rlevel _ -> true | Problem.Rattr b -> done_.(b)
     in
+    (* The pre-aggregate computation of "lub of the other lhs members": a
+       full refold of the constraint's lhs.  Kept as the reference the
+       incremental aggregate is checked against (uninstrumented, so
+       self-checking does not distort the counters). *)
+    let lubothers_reference a (c : _ Problem.cst) =
+      Array.fold_left
+        (fun acc a' -> if a' = a then acc else L.lub lat acc lam.(a'))
+        bottom c.lhs
+    in
     (* MINLEVEL(A, lhs, rhs): a minimal level A can assume without violating
        the constraint, given the current levels of the other lhs members. *)
-    let minlevel a (c : _ Problem.cst) =
+    let minlevel a ci (c : _ Problem.cst) =
       stats.Instr.minlevel_calls <- stats.Instr.minlevel_calls + 1;
+      let k = prob.Problem.complex_idx.(ci) in
       let lubothers =
-        Array.fold_left
-          (fun acc a' -> if a' = a then acc else lub acc lam.(a'))
-          bottom c.lhs
+        if unlabeled.(ci) = 0 then
+          (* Every lhs member has been considered, and an attribute's
+             Consider iteration runs to completion before the next begins,
+             so all members other than [a] are finalized — the aggregate
+             already covers everyone else: O(1) instead of O(|lhs|) lubs. *)
+          agg.(k)
+        else
+          (* Some lhs members are still provisional (bounds mode evaluates
+             complex constraints before all members are labeled): fold just
+             those on top of the aggregate.  [done_] coincides with
+             "finalized" for every attribute except [a] itself, which the
+             fold skips explicitly. *)
+          Array.fold_left
+            (fun acc a' ->
+              if a' = a || done_.(a') then acc else lub acc lam.(a'))
+            agg.(k) c.lhs
       in
+      if check_aggregate then begin
+        let reference = lubothers_reference a c in
+        if not (L.equal lat reference lubothers) then
+          invalid_arg
+            (Printf.sprintf
+               "Solver: incremental lhs-lub aggregate diverged from the \
+                reference fold at attribute %s"
+               (Problem.attr_name prob a))
+      end;
       let target = rhs_level c in
       match residual with
       | Some r -> r lat ~target ~others:lubothers
@@ -268,17 +339,18 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
           List.iter
             (fun ci ->
               let c = csts.(ci) in
-              let complex = Array.length c.lhs > 1 in
+              let complex = prob.Problem.complex.(ci) in
               if complex then unlabeled.(ci) <- unlabeled.(ci) - 1;
               if rhs_done c then begin
                 if not complex then l := lub !l (rhs_level c)
                 else if unlabeled.(ci) = 0 || bounds_mode then
-                  l := lub !l (minlevel a c)
+                  l := lub !l (minlevel a ci c)
               end
               else done_.(a) <- false)
             prob.Problem.constr_of.(a);
           if done_.(a) then begin
             lam.(a) <- !l;
+            finalize a;
             on_event (Back_assigned { attr = attr_name a; level = !l })
           end
           else begin
@@ -316,6 +388,7 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
                            { attr = attr_name a; target = l''; lowered = None }))
             done;
             done_.(a) <- true;
+            finalize a;
             on_event (Finalized { attr = attr_name a; level = lam.(a) })
           end)
         members)
@@ -327,8 +400,9 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
       stats;
     }
 
-  let solve ?on_event ?residual ?upgrade_preference ({ lat; _ } as problem) =
-    solve_internal ?on_event ?residual ?upgrade_preference
+  let solve ?on_event ?residual ?upgrade_preference ?check_aggregate
+      ({ lat; _ } as problem) =
+    solve_internal ?on_event ?residual ?upgrade_preference ?check_aggregate
       ~init:(fun _ -> L.top lat)
       ~bounds_mode:false problem
 
@@ -412,12 +486,14 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
       Ok ub
     with Inconsistent i -> Error i
 
-  let solve_with_bounds ?on_event ?residual ?upgrade_preference problem bounds =
+  let solve_with_bounds ?on_event ?residual ?upgrade_preference ?check_aggregate
+      problem bounds =
     match derive_upper_bounds problem bounds with
     | Error _ as e -> e
     | Ok ub ->
         Ok
           (solve_internal ?on_event ?residual ?upgrade_preference
+             ?check_aggregate
              ~init:(fun a -> ub.(a))
              ~bounds_mode:true problem)
 end

@@ -86,11 +86,18 @@ module Make (L : Minup_lattice.Lattice_intf.S) : sig
       condensation, so the result is a minimal solution either way; it is
       best-effort where the constraint structure forces an order (an
       attribute can only absorb an upgrade if it is not required before
-      its left-hand-side peers). *)
+      its left-hand-side peers).
+
+      [check_aggregate] (default [false]) cross-checks, at every [Minlevel]
+      call, the incremental lhs-lub aggregate against the reference refold
+      of the whole left-hand side, raising [Invalid_argument] on the first
+      divergence.  The reference fold is uninstrumented, so the returned
+      {!Instr} counters are unaffected.  Intended for tests. *)
   val solve :
     ?on_event:(event -> unit) ->
     ?residual:(L.t -> target:L.level -> others:L.level -> L.level) ->
     ?upgrade_preference:(string -> int) ->
+    ?check_aggregate:bool ->
     problem ->
     solution
 
@@ -131,6 +138,7 @@ module Make (L : Minup_lattice.Lattice_intf.S) : sig
     ?on_event:(event -> unit) ->
     ?residual:(L.t -> target:L.level -> others:L.level -> L.level) ->
     ?upgrade_preference:(string -> int) ->
+    ?check_aggregate:bool ->
     problem ->
     (string * L.level) list ->
     (solution, inconsistency) result

@@ -28,9 +28,27 @@ let mem t i =
   let q = i / bits_per_word and r = i mod bits_per_word in
   t.w.(q) land (1 lsl r) <> 0
 
+(* SWAR (SIMD-within-a-register) population count.  The classic 64-bit
+   constants, truncated to OCaml's 63-bit native int: lanes are summed in
+   parallel (2-bit, then 4-bit, then 8-bit groups) and the per-byte counts
+   are accumulated into the top byte by one multiply.  The top "lane" of a
+   63-bit word is 7 bits wide, which is enough: the total count is ≤ 63.
+   0x5555555555555555 does not fit a 63-bit literal, but only its even bits
+   below the sign position matter (bit 62 of [x lsr 1] is always 0). *)
+let m1 = 0x1555555555555555 (* even bits 0, 2, …, 60 *)
+let m2 = 0x3333333333333333
+let m4 = 0x0F0F0F0F0F0F0F0F
+let h01 = 0x0101010101010101
+
 let popcount x =
-  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
-  go 0 x
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (x * h01) lsr 56
+
+(* Index of the lowest set bit of a nonzero word: isolate it with
+   [w land (-w)], then count the ones below it. *)
+let lowest_bit_index w = popcount ((w land (-w)) - 1)
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.w
 
@@ -73,18 +91,34 @@ let union_into a b =
     a.w.(i) <- a.w.(i) lor b.w.(i)
   done
 
+(* Iteration visits only the set bits: zero words are skipped outright and
+   nonzero words are consumed one lowest bit at a time ([w land (w - 1)]
+   clears it), so the cost is proportional to the cardinality, not the
+   capacity. *)
 let iter f t =
   for q = 0 to Array.length t.w - 1 do
-    let w = t.w.(q) in
-    if w <> 0 then
-      for r = 0 to bits_per_word - 1 do
-        if w land (1 lsl r) <> 0 then f ((q * bits_per_word) + r)
+    let w = ref t.w.(q) in
+    if !w <> 0 then begin
+      let base = q * bits_per_word in
+      while !w <> 0 do
+        f (base + lowest_bit_index !w);
+        w := !w land (!w - 1)
       done
+    end
   done
 
 let fold f t init =
   let acc = ref init in
-  iter (fun i -> acc := f i !acc) t;
+  for q = 0 to Array.length t.w - 1 do
+    let w = ref t.w.(q) in
+    if !w <> 0 then begin
+      let base = q * bits_per_word in
+      while !w <> 0 do
+        acc := f (base + lowest_bit_index !w) !acc;
+        w := !w land (!w - 1)
+      done
+    end
+  done;
   !acc
 
 let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
@@ -94,27 +128,37 @@ let of_list n l =
   List.iter (set t) l;
   t
 
-exception Found of int
-
 let min_elt t =
-  try
-    iter (fun i -> raise (Found i)) t;
-    None
-  with Found i -> Some i
+  let nwords = Array.length t.w in
+  let rec go q =
+    if q >= nwords then None
+    else
+      let w = t.w.(q) in
+      if w = 0 then go (q + 1)
+      else Some ((q * bits_per_word) + lowest_bit_index w)
+  in
+  go 0
+
+(* Index of the highest set bit of a nonzero word: smear it rightward, then
+   the count of ones is one more than the index. *)
+let highest_bit_index w =
+  let w = w lor (w lsr 1) in
+  let w = w lor (w lsr 2) in
+  let w = w lor (w lsr 4) in
+  let w = w lor (w lsr 8) in
+  let w = w lor (w lsr 16) in
+  let w = w lor (w lsr 32) in
+  popcount w - 1
 
 let max_elt t =
-  let best = ref None in
-  for q = Array.length t.w - 1 downto 0 do
-    if !best = None then begin
+  let rec go q =
+    if q < 0 then None
+    else
       let w = t.w.(q) in
-      if w <> 0 then
-        for r = bits_per_word - 1 downto 0 do
-          if !best = None && w land (1 lsl r) <> 0 then
-            best := Some ((q * bits_per_word) + r)
-        done
-    end
-  done;
-  !best
+      if w = 0 then go (q - 1)
+      else Some ((q * bits_per_word) + highest_bit_index w)
+  in
+  go (Array.length t.w - 1)
 
 let disjoint a b =
   same_capacity a b;

@@ -20,6 +20,11 @@ val mem : t -> int -> bool
 (** Number of members. *)
 val cardinal : t -> int
 
+(** [popcount w] — number of set bits of a raw word, by SWAR lane summation
+    (no loop over bits).  Exposed for tests and for callers doing their own
+    word-level tricks. *)
+val popcount : int -> int
+
 val is_empty : t -> bool
 val copy : t -> t
 val equal : t -> t -> bool

@@ -9,6 +9,8 @@ type t = {
   covers_hi : int list array; (* immediate successors, ascending *)
   lub_table : int array option; (* flat n*n, present for small lattices *)
   glb_table : int array option;
+  lub_memo : int array; (* direct-mapped cache for the table-less case *)
+  glb_memo : int array;
   top : int;
   bottom : int;
   height : int;
@@ -44,6 +46,19 @@ let pp_error ppf = function
 
 (* Lattices up to this size get O(1) lub/glb lookup tables. *)
 let table_threshold = 600
+
+(* Above the threshold, lub/glb fall back to upset/downset intersections —
+   O(n/word_size) per call.  A small direct-mapped memo in front of that
+   path catches the heavy repetition a solver run exhibits (the same few
+   level pairs are combined over and over).  Each slot packs query and
+   answer into ONE immediate int, [(a*n + b) * n + result + 1] with a ≤ b
+   (0 = empty), so a read either sees a complete, self-identifying entry or
+   misses — concurrent unsynchronised use from several domains (the batch
+   engine shares lattices across workers) can at worst lose a cached entry,
+   never yield a wrong answer.  Packing needs n³ < 2^62, i.e. n < ~1.6M —
+   far beyond what [create]'s O(n²) validation pass admits anyway. *)
+let memo_size = 4096 (* power of two *)
+let memo_mask = memo_size - 1
 
 exception Err of error
 
@@ -162,6 +177,8 @@ let create ~names ~order =
         covers_hi;
         lub_table = (if keep_tables then Some lub_tab else None);
         glb_table = (if keep_tables then Some glb_tab else None);
+        lub_memo = (if keep_tables then [||] else Array.make memo_size 0);
+        glb_memo = (if keep_tables then [||] else Array.make memo_size 0);
         top = n - 1;
         bottom = 0;
         height = Hasse.longest_path n covers;
@@ -205,15 +222,37 @@ let leq t a b = Bitset.mem t.up.(a) b
 let lub t a b =
   match t.lub_table with
   | Some tab -> tab.((a * cardinal t) + b)
-  | None -> lub_of_upsets ~names:t.names t.up a b
+  | None ->
+      let n = cardinal t in
+      let key = if a <= b then (a * n) + b else (b * n) + a in
+      let slot = t.lub_memo.(key land memo_mask) in
+      if slot <> 0 && (slot - 1) / n = key then (slot - 1) mod n
+      else begin
+        let v = lub_of_upsets ~names:t.names t.up a b in
+        t.lub_memo.(key land memo_mask) <- (key * n) + v + 1;
+        v
+      end
 
 let glb t a b =
   match t.glb_table with
   | Some tab -> tab.((a * cardinal t) + b)
-  | None -> glb_of_downsets ~names:t.names t.down a b
+  | None ->
+      let n = cardinal t in
+      let key = if a <= b then (a * n) + b else (b * n) + a in
+      let slot = t.glb_memo.(key land memo_mask) in
+      if slot <> 0 && (slot - 1) / n = key then (slot - 1) mod n
+      else begin
+        let v = glb_of_downsets ~names:t.names t.down a b in
+        t.glb_memo.(key land memo_mask) <- (key * n) + v + 1;
+        v
+      end
 
 let top t = t.top
 let bottom t = t.bottom
+
+(* Already O(1): immediate predecessors are precomputed at [create] time
+   (the [covers_lo] array), so the solver's cover-descent loop never
+   recomputes the Hasse diagram. *)
 let covers_below t l = t.covers_lo.(l)
 let height t = t.height
 let levels t = Seq.init (cardinal t) Fun.id

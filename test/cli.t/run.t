@@ -23,6 +23,23 @@ comes from the constraint file itself):
   rank                     L1
   department               L6
 
+Batch mode solves many policies in parallel; results keep input order
+whatever the worker count, and --jobs is clamped to the batch size:
+
+  $ mlsclassify batch -l fig1b.lat --jobs 2 employee.cst employee.cst
+  == employee.cst
+  name                     L1
+  salary                   L6
+  rank                     L1
+  department               L6
+  == employee.cst
+  name                     L1
+  salary                   L6
+  rank                     L1
+  department               L6
+  $ mlsclassify batch -l fig1b.lat -j 3 --stats employee.cst 2>&1 >/dev/null
+  problems=1 jobs=1 lub=1 glb=0 leq=6 minlevel=2 try=0 try_iters=0 checks=0
+
 Minimality can be verified exhaustively on small instances:
 
   $ mlsclassify solve -l fig1b.lat -c employee.cst --check-minimal

@@ -76,9 +76,62 @@ let model_prop =
       && Bitset.equal a b = (mx = my)
       && Bitset.min_elt a = (match mx with [] -> None | x :: _ -> Some x))
 
+(* Reference popcount: the pre-SWAR bit-at-a-time loop. *)
+let popcount_naive x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let popcount_swar () =
+  List.iter
+    (fun x ->
+      Alcotest.(check int)
+        (Printf.sprintf "popcount %#x" x)
+        (popcount_naive x) (Bitset.popcount x))
+    [
+      0; 1; 2; 3; max_int; min_int; -1; 0x5A5A5A5A; 1 lsl 62;
+      (1 lsl 62) lor 1; max_int - 1; 0x0F0F0F0F0F0F0F0; lnot 0x33333333;
+    ]
+
+let popcount_prop =
+  QCheck.Test.make ~count:1000 ~name:"SWAR popcount agrees with naive loop"
+    QCheck.int
+    (fun x -> Bitset.popcount x = popcount_naive x)
+
+(* The word-skipping iter/fold/min_elt/max_elt fast paths must still visit
+   exactly the members, in order, over sparse sets spanning many words. *)
+let sparse_scan () =
+  let members = [ 0; 62; 63; 64; 125; 126; 189; 440; 441; 699 ] in
+  let s = Bitset.of_list 700 members in
+  Alcotest.(check (list int)) "to_list" members (Bitset.to_list s);
+  let visited = ref [] in
+  Bitset.iter (fun i -> visited := i :: !visited) s;
+  Alcotest.(check (list int)) "iter order" members (List.rev !visited);
+  Alcotest.(check int) "fold sum"
+    (List.fold_left ( + ) 0 members)
+    (Bitset.fold ( + ) s 0);
+  Alcotest.(check (option int)) "min" (Some 0) (Bitset.min_elt s);
+  Alcotest.(check (option int)) "max" (Some 699) (Bitset.max_elt s);
+  Alcotest.(check int) "cardinal" (List.length members) (Bitset.cardinal s)
+
+let fold_min_max_prop =
+  QCheck.Test.make ~count:500
+    ~name:"fold/min_elt/max_elt agree with list model across words"
+    QCheck.(small_list (int_bound 320))
+    (fun xs ->
+      let m = List.sort_uniq compare xs in
+      let s = Bitset.of_list 321 xs in
+      Bitset.fold (fun i acc -> i :: acc) s [] = List.rev m
+      && Bitset.min_elt s = (match m with [] -> None | x :: _ -> Some x)
+      && Bitset.max_elt s
+         = (match List.rev m with [] -> None | x :: _ -> Some x))
+
 let suite =
   [
     case "basic set/clear/mem" basic;
+    case "SWAR popcount vs naive" popcount_swar;
+    Helpers.qcheck popcount_prop;
+    case "sparse word-skipping scans" sparse_scan;
+    Helpers.qcheck fold_min_max_prop;
     case "bounds checking" bounds;
     case "set operations" set_ops;
     case "min/max element" min_max;

@@ -1,0 +1,142 @@
+(* The batch engine must be a drop-in for a sequential solve loop: same
+   solutions, same per-problem counters, same order — whatever the worker
+   count.  The workloads below mix shapes (acyclic / one big SCC / SCC
+   islands) and lattices so the parity check covers both solver paths
+   (back-propagation and forward lowering). *)
+
+open Minup_lattice
+module Engine = Minup_core.Engine.Make (Explicit)
+module S = Helpers.S
+module Gen = Minup_workload.Gen_constraints
+module Gen_lattice = Minup_workload.Gen_lattice
+module Instr = Minup_core.Instr
+
+let case = Helpers.case
+
+let lattices =
+  lazy
+    [|
+      Gen_lattice.diamond_stack 3;
+      Gen_lattice.chain_product [ 3; 2 ];
+      Minup_core.Paper.fig1b;
+    |]
+
+let random_problem rng i =
+  let lats = Lazy.force lattices in
+  let lat = lats.(i mod Array.length lats) in
+  let constants = Explicit.all lat in
+  let spec =
+    {
+      Gen.n_attrs = 18 + (i mod 11);
+      n_simple = 26;
+      n_complex = 9;
+      max_lhs = 4;
+      n_constants = 7;
+      constants;
+    }
+  in
+  let attrs, csts =
+    match i mod 3 with
+    | 0 -> Gen.acyclic rng spec
+    | 1 -> Gen.single_scc rng spec
+    | _ -> Gen.mixed rng spec ~n_islands:3 ~island_size:4
+  in
+  S.compile_exn ~lattice:lat ~attrs csts
+
+let fields (s : Instr.t) =
+  [
+    s.Instr.lub;
+    s.Instr.glb;
+    s.Instr.leq;
+    s.Instr.minlevel_calls;
+    s.Instr.try_calls;
+    s.Instr.try_iterations;
+    s.Instr.constraint_checks;
+  ]
+
+let stats_eq name a b = Alcotest.(check (list int)) name (fields a) (fields b)
+
+(* 60 randomized workloads, solved sequentially and at jobs = 4: identical
+   levels, identical per-problem counters, aggregate = component-wise sum. *)
+let parity_jobs4 () =
+  let rng = Minup_workload.Prng.create 4242 in
+  let problems = Array.init 60 (fun i -> random_problem rng i) in
+  let seq = Array.map S.solve problems in
+  let report = Engine.solve_batch ~jobs:4 problems in
+  Alcotest.(check int) "solution count" 60 (Array.length report.Engine.solutions);
+  Alcotest.(check int) "jobs used" 4 report.Engine.jobs;
+  Array.iteri
+    (fun i (p : S.solution) ->
+      let q = report.Engine.solutions.(i) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "levels of problem %d" i)
+        p.S.levels q.S.levels;
+      stats_eq (Printf.sprintf "stats of problem %d" i) p.S.stats q.S.stats)
+    seq;
+  stats_eq "aggregate stats"
+    (Instr.sum (Array.map (fun (s : S.solution) -> s.S.stats) seq))
+    report.Engine.stats;
+  Alcotest.(check bool) "aggregate counted work" true
+    (Instr.lattice_ops report.Engine.stats > 0)
+
+(* Degenerate shapes: empty batch, singleton batch with excess workers
+   (jobs clamps to the batch size), inline jobs=1 path, bad jobs. *)
+let edge_cases () =
+  let empty = Engine.solve_batch ~jobs:4 [||] in
+  Alcotest.(check int) "empty batch" 0 (Array.length empty.Engine.solutions);
+  let rng = Minup_workload.Prng.create 7 in
+  let p = random_problem rng 0 in
+  let one = Engine.solve_batch ~jobs:8 [| p |] in
+  Alcotest.(check int) "jobs clamped" 1 one.Engine.jobs;
+  let seq = S.solve p in
+  Alcotest.(check (array int)) "clamped still solves" seq.S.levels
+    one.Engine.solutions.(0).S.levels;
+  let inline = Engine.solve_batch ~jobs:1 [| p; p |] in
+  Alcotest.(check int) "inline path" 1 inline.Engine.jobs;
+  Alcotest.(check (array int)) "inline solves" seq.S.levels
+    inline.Engine.solutions.(1).S.levels;
+  Alcotest.check_raises "jobs < 1 rejected"
+    (Invalid_argument "Engine.solve_batch: jobs < 1") (fun () ->
+      ignore (Engine.solve_batch ~jobs:0 [| p |]))
+
+exception Boom
+
+(* A solve raising inside a worker domain must resurface in the caller
+   (after the workers drain), not vanish or deadlock. *)
+let exn_propagates () =
+  let rng = Minup_workload.Prng.create 99 in
+  let problems = Array.init 6 (fun i -> random_problem rng i) in
+  let residual _ ~target:_ ~others:_ = raise Boom in
+  Alcotest.check_raises "worker exception resurfaces" Boom (fun () ->
+      ignore (Engine.solve_batch ~residual ~jobs:3 problems))
+
+(* Options must reach every worker: an upgrade preference changes which
+   minimal solution is returned, and batch runs must match sequential ones
+   option-for-option. *)
+let options_forwarded =
+  QCheck.Test.make ~count:30
+    ~name:"batch = sequential under an upgrade preference" Helpers.seed_arb
+    (fun seed ->
+      let rng = Minup_workload.Prng.create seed in
+      let problems =
+        Array.init 8 (fun i -> random_problem rng (i + (seed mod 5)))
+      in
+      let pref name = -String.length name in
+      let seq =
+        Array.map (fun p -> S.solve ~upgrade_preference:pref p) problems
+      in
+      let report =
+        Engine.solve_batch ~upgrade_preference:pref ~jobs:4 problems
+      in
+      Array.for_all2
+        (fun (a : S.solution) (b : S.solution) ->
+          a.S.levels = b.S.levels && fields a.S.stats = fields b.S.stats)
+        seq report.Engine.solutions)
+
+let suite =
+  [
+    case "jobs=4 parity on 60 random workloads" parity_jobs4;
+    case "edge cases: empty, clamp, inline, bad jobs" edge_cases;
+    case "worker exception propagates" exn_propagates;
+    Helpers.qcheck options_forwarded;
+  ]

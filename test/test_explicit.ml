@@ -123,9 +123,42 @@ let lub_brute_prop =
             all)
         all)
 
+(* Above [table_threshold] (600) lub/glb run table-less through the
+   direct-mapped memo; a 700-level chain exercises that path, querying each
+   pair twice so the second lookup is served from the memo. *)
+let tableless_memo () =
+  let n = 700 in
+  let names = List.init n (Printf.sprintf "c%d") in
+  let lat = Explicit.chain names in
+  let lt = Helpers.level_t lat in
+  let pairs =
+    [ (0, 0); (0, 699); (699, 0); (123, 456); (456, 123); (456, 457); (698, 699) ]
+  in
+  for _pass = 1 to 2 do
+    List.iter
+      (fun (a, b) ->
+        Alcotest.check lt
+          (Printf.sprintf "lub %d %d" a b)
+          (max a b) (Explicit.lub lat a b);
+        Alcotest.check lt
+          (Printf.sprintf "glb %d %d" a b)
+          (min a b) (Explicit.glb lat a b))
+      pairs
+  done;
+  (* Distinct queries colliding on the same memo slot (keys ≡ mod 4096:
+     0·700+596 = 596 and 6·700+492 = 4692 = 596 + 4096) must still be
+     answered correctly — collisions evict, never corrupt. *)
+  let check (a, b) =
+    Alcotest.check lt
+      (Printf.sprintf "collision lub %d %d" a b)
+      (max a b) (Explicit.lub lat a b)
+  in
+  check (0, 596); check (6, 492); check (0, 596); check (6, 492)
+
 let suite =
   [
     case "Fig. 1(b) structure" fig1b_structure;
+    case "table-less lub/glb memo (700-level chain)" tableless_memo;
     case "lattice laws" laws;
     case "rejects non-lattices" rejects_non_lattice;
     case "rejects malformed input" rejects_bad_input;

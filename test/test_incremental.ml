@@ -1,0 +1,98 @@
+(* The solver's incremental lhs-lub aggregate (one running lub of finalized
+   left-hand-side members per complex constraint) replaces the per-Minlevel
+   refold of the whole lhs.  [~check_aggregate:true] makes every Minlevel
+   call cross-check the aggregate against the reference refold and raise on
+   the first divergence, so these properties fail loudly if the
+   finalization invariants (finalized levels never change; [done_] ≡
+   finalized away from the attribute under consideration) are ever
+   broken. *)
+
+open Minup_lattice
+module S = Helpers.S
+module Gen = Minup_workload.Gen_constraints
+module Gen_lattice = Minup_workload.Gen_lattice
+module Instr = Minup_core.Instr
+
+let case = Helpers.case
+
+let random_problem seed =
+  let rng = Minup_workload.Prng.create seed in
+  let lat =
+    Gen_lattice.random_closure_exn rng ~universe:5 ~n_generators:4 ~max_size:40
+  in
+  let spec =
+    {
+      Gen.n_attrs = 16;
+      n_simple = 22;
+      n_complex = 8;
+      max_lhs = 4;
+      n_constants = 6;
+      constants = Explicit.all lat;
+    }
+  in
+  let attrs, csts =
+    match seed mod 3 with
+    | 0 -> Gen.acyclic rng spec
+    | 1 -> Gen.single_scc rng spec
+    | _ -> Gen.mixed rng spec ~n_islands:2 ~island_size:4
+  in
+  S.compile_exn ~lattice:lat ~attrs csts
+
+let fields (s : Instr.t) =
+  [
+    s.Instr.lub;
+    s.Instr.glb;
+    s.Instr.leq;
+    s.Instr.minlevel_calls;
+    s.Instr.try_calls;
+    s.Instr.try_iterations;
+    s.Instr.constraint_checks;
+  ]
+
+(* On random Explicit lattices and all three workload shapes, the
+   self-checking solve must complete (aggregate = refold at every Minlevel),
+   return the same solution as the plain solve, and — the reference fold
+   being uninstrumented — identical counters. *)
+let aggregate_matches_refold =
+  QCheck.Test.make ~count:120
+    ~name:"incremental lhs-lub aggregate = reference refold" Helpers.seed_arb
+    (fun seed ->
+      let p = random_problem seed in
+      let checked = S.solve ~check_aggregate:true p in
+      let plain = S.solve p in
+      checked.S.levels = plain.S.levels
+      && fields checked.S.stats = fields plain.S.stats
+      && S.satisfies p checked.S.levels)
+
+(* Bounds mode is the aggregate's hard case: Minlevel runs for every
+   attribute of every complex constraint, so the fold-on-top-of-aggregate
+   path (provisional members) is exercised, not just the O(1) fast path. *)
+let aggregate_matches_refold_bounds =
+  QCheck.Test.make ~count:120
+    ~name:"aggregate = refold under upper-bound preprocessing"
+    Helpers.seed_arb
+    (fun seed ->
+      let p = random_problem seed in
+      match S.solve_with_bounds ~check_aggregate:true p [] with
+      | Ok sol -> S.satisfies p sol.S.levels
+      | Error _ -> false)
+
+(* The paper's Figure 2 run, self-checked, still yields Figure 2(b). *)
+let paper_example_checked () =
+  let lattice = Minup_core.Paper.fig1b in
+  let p =
+    S.compile_exn ~lattice ~attrs:Minup_core.Paper.fig2_attrs
+      Minup_core.Paper.fig2_constraints
+  in
+  let checked = S.solve ~check_aggregate:true p in
+  let plain = S.solve p in
+  Alcotest.(check (array int)) "same levels" plain.S.levels checked.S.levels;
+  Alcotest.(check (list int)) "same counters" (fields plain.S.stats)
+    (fields checked.S.stats)
+
+let suite =
+  [
+    Helpers.qcheck aggregate_matches_refold;
+    Helpers.qcheck aggregate_matches_refold_bounds;
+    case "paper Figure 2 under self-check" paper_example_checked;
+  ]
