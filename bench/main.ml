@@ -470,6 +470,7 @@ let throughput () =
     ]
   in
   let results = ref [] in
+  let phase_metrics = ref [] in
   let rows =
     List.concat_map
       (fun (name, n_attrs, n_problems, gen) ->
@@ -480,6 +481,17 @@ let throughput () =
         in
         (* The jobs=1 run is the reference every parallel run must equal. *)
         let reference = Engine.solve_batch ~jobs:1 problems in
+        (* Phase breakdown: one metered run at the widest worker count,
+           outside the timed loop so the timing rows stay unobserved. *)
+        let module Metrics = Minup_obs.Metrics in
+        Metrics.enable ();
+        Metrics.reset ();
+        let metered =
+          Engine.solve_batch ~jobs:(List.fold_left max 1 jobs_levels) problems
+        in
+        Instr.to_metrics metered.Engine.stats;
+        phase_metrics := (name, Metrics.to_json ()) :: !phase_metrics;
+        Metrics.disable ();
         List.map
           (fun jobs ->
             let best = ref infinity and report = ref reference in
@@ -523,27 +535,40 @@ let throughput () =
     ~header:[ "workload"; "attrs"; "jobs"; "wall ms"; "solves/s"; "lub"; "leq" ]
     rows;
   let results = List.rev !results in
-  let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"benchmark\": \"throughput\",\n";
-  Printf.bprintf buf "  \"recommended_domains\": %d,\n"
-    (Domain.recommended_domain_count ());
-  Buffer.add_string buf "  \"results\": [\n";
-  let n_results = List.length results in
-  List.iteri
-    (fun i (name, n_attrs, n_problems, jobs, wall_ms, sps, lub, leq) ->
-      Printf.bprintf buf
-        "    {\"experiment\": %S, \"n_attrs\": %d, \"n_problems\": %d, \
-         \"jobs\": %d, \"wall_ms\": %.3f, \"solves_per_sec\": %.1f, \
-         \"lub\": %d, \"leq\": %d}%s\n"
-        name n_attrs n_problems jobs wall_ms sps lub leq
-        (if i = n_results - 1 then "" else ","))
-    results;
-  Buffer.add_string buf "  ]\n}\n";
+  let json =
+    let open Minup_obs.Json in
+    let num_i i = Num (float_of_int i) in
+    Obj
+      ([ ("benchmark", Str "throughput") ]
+      @ host_meta ()
+      @ [
+          ( "results",
+            Arr
+              (List.map
+                 (fun (name, n_attrs, n_problems, jobs, wall_ms, sps, lub, leq)
+                    ->
+                   Obj
+                     [
+                       ("experiment", Str name);
+                       ("n_attrs", num_i n_attrs);
+                       ("n_problems", num_i n_problems);
+                       ("jobs", num_i jobs);
+                       ("wall_ms", Num (Float.round (wall_ms *. 1e3) /. 1e3));
+                       ("solves_per_sec", Num (Float.round (sps *. 10.) /. 10.));
+                       ("lub", num_i lub);
+                       ("leq", num_i leq);
+                     ])
+                 results) );
+          ( "phase_metrics",
+            Obj (List.rev_map (fun (name, m) -> (name, m)) !phase_metrics) );
+        ])
+  in
   let oc = open_out bench_json_path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> Buffer.output_buffer oc buf);
+    (fun () ->
+      output_string oc (Minup_obs.Json.to_string ~pretty:true json);
+      output_char oc '\n');
   Printf.printf
     "wrote %s  (parallel output verified equal to sequential; this host \
      recommends %d domains)\n"

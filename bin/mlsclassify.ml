@@ -1,18 +1,27 @@
 (* mlsclassify — command-line front end for the minimal-upgrading
    classifier.
 
-     mlsclassify solve  -l lattice.lat -c policy.cst [--bound a=LVL] [--trace]
+     mlsclassify solve  -l lattice.lat -c policy.cst [--bound a=LVL] [--events]
+     mlsclassify batch  -l lattice.lat --jobs 4 p1.cst p2.cst ...
      mlsclassify stats  -c policy.cst
      mlsclassify dot    -l lattice.lat
      mlsclassify demo
 
-   Lattice files use the Lattice_file format; constraint files the Parse
-   format (see the library documentation or README). *)
+   solve and batch accept the observability flags --trace FILE (Chrome
+   trace-event JSON, loadable in Perfetto), --metrics (summary on stderr)
+   and --metrics-json FILE.  Lattice files use the Lattice_file format;
+   constraint files the Parse format (see the library documentation or
+   README). *)
 
 open Minup_lattice
 module Solver = Minup_core.Solver.Make (Explicit)
 module Engine = Minup_core.Engine.Make (Explicit)
 module Parse = Minup_constraints.Parse
+module Instr = Minup_core.Instr
+module Trace = Minup_obs.Trace
+module Metrics = Minup_obs.Metrics
+module Obs_clock = Minup_obs.Clock
+module Json = Minup_obs.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -46,6 +55,63 @@ let print_assignment lattice assignment =
       Printf.printf "%-24s %s\n" attr (Explicit.level_to_string lattice l))
     assignment
 
+(* --- observability plumbing ----------------------------------------- *)
+
+type obs = {
+  trace_file : string option;
+  metrics : bool;
+  metrics_json : string option;
+}
+
+(* [with_obs o f] runs [f] (which returns its result and the run's
+   aggregate counters) with tracing/metrics enabled as requested, then
+   writes the configured sinks.  The counters are absorbed into the
+   registry so every --metrics/--metrics-json report carries the instr/*
+   counters next to the phase histograms. *)
+let with_obs o f =
+  (* A bad sink path is a user error, not an internal one. *)
+  let write_or_die write path =
+    match write path with
+    | () -> ()
+    | exception Sys_error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 1
+  in
+  if o.trace_file <> None then Trace.start ();
+  if o.metrics || o.metrics_json <> None then begin
+    Metrics.enable ();
+    Metrics.reset ()
+  end;
+  let t0 = Obs_clock.now_ns () in
+  let result, stats = f () in
+  (match o.trace_file with
+  | Some path ->
+      Trace.stop ();
+      write_or_die Trace.write path
+  | None -> ());
+  if Metrics.enabled () then begin
+    Metrics.set
+      (Metrics.gauge "cli/wall_ns")
+      (Int64.to_float (Obs_clock.elapsed_ns ~since:t0));
+    Instr.to_metrics stats;
+    if o.metrics then Format.eprintf "%a@?" Metrics.pp ();
+    (match o.metrics_json with
+    | None -> ()
+    | Some path ->
+        let json = Json.to_string ~pretty:true (Metrics.to_json ()) ^ "\n" in
+        if path = "-" then print_string json
+        else
+          write_or_die
+            (fun path ->
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc json))
+            path);
+    Metrics.disable ()
+  end;
+  result
+
 (* --- solve ---------------------------------------------------------- *)
 
 let parse_bound lattice spec =
@@ -58,7 +124,8 @@ let parse_bound lattice spec =
       | Some l -> Ok (attr, l)
       | None -> Error (Printf.sprintf "unknown level %S in bound" level))
 
-let solve_cmd lattice_path policy_path bounds trace check_minimal explain output =
+let solve_cmd lattice_path policy_path bounds events check_minimal explain
+    output obs =
   let lattice = or_die (load_lattice lattice_path) in
   let policy = or_die (load_policy lattice policy_path) in
   let problem =
@@ -74,7 +141,7 @@ let solve_cmd lattice_path policy_path bounds trace check_minimal explain output
     @ List.map (fun spec -> or_die (parse_bound lattice spec)) bounds
   in
   let on_event =
-    if not trace then fun _ -> ()
+    if not events then fun _ -> ()
     else
       let lvl l = Explicit.level_to_string lattice l in
       fun (e : Solver.event) ->
@@ -93,16 +160,20 @@ let solve_cmd lattice_path policy_path bounds trace check_minimal explain output
             Printf.eprintf "  done %s = %s\n" attr (lvl level)
   in
   let solution =
-    if bounds = [] then Solver.solve ~on_event problem
-    else
-      match Solver.solve_with_bounds ~on_event problem bounds with
-      | Ok s -> s
-      | Error i ->
-          prerr_endline
-            (Format.asprintf "inconsistent: %a"
-               (Solver.pp_inconsistency lattice)
-               i);
-          exit 2
+    with_obs obs (fun () ->
+        let s =
+          if bounds = [] then Solver.solve ~on_event problem
+          else
+            match Solver.solve_with_bounds ~on_event problem bounds with
+            | Ok s -> s
+            | Error i ->
+                prerr_endline
+                  (Format.asprintf "inconsistent: %a"
+                     (Solver.pp_inconsistency lattice)
+                     i);
+                exit 2
+        in
+        (s, s.Solver.stats))
   in
   print_assignment lattice solution.Solver.assignment;
   if not (Solver.satisfies problem solution.Solver.levels) then begin
@@ -139,7 +210,7 @@ let solve_cmd lattice_path policy_path bounds trace check_minimal explain output
 
 (* Solve many policy files against one lattice, fanned out over domains by
    the batch engine.  Output order is input order regardless of [--jobs]. *)
-let batch_cmd lattice_path policy_paths jobs show_stats =
+let batch_cmd lattice_path policy_paths jobs show_stats obs =
   let lattice = or_die (load_lattice lattice_path) in
   let problems =
     Array.of_list
@@ -157,7 +228,11 @@ let batch_cmd lattice_path policy_paths jobs show_stats =
                exit 1)
          policy_paths)
   in
-  let report = Engine.solve_batch ?jobs problems in
+  let report =
+    with_obs obs (fun () ->
+        let r = Engine.solve_batch ?jobs problems in
+        (r, r.Engine.stats))
+  in
   Array.iteri
     (fun i (sol : Solver.solution) ->
       Printf.printf "== %s\n" (List.nth policy_paths i);
@@ -311,8 +386,48 @@ let bounds_arg =
     & info [ "bound" ] ~docv:"ATTR=LEVEL"
         ~doc:"Additional upper-bound constraint (repeatable).")
 
-let trace_arg =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Print the execution trace to stderr.")
+let events_arg =
+  Arg.(
+    value & flag
+    & info [ "events" ]
+        ~doc:
+          "Print the Fig. 2(b)-style execution trace (consider/assign/try \
+           events) to stderr.")
+
+(* Observability flags shared by solve and batch. *)
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the run to $(docv): solver \
+             phase spans (priorities, back-propagation, per-SCC forward \
+             lowering) and, under batch, per-worker spans.  Load it in \
+             Perfetto (ui.perfetto.dev) or chrome://tracing.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print a metrics summary (operation counters, phase latency \
+             histograms with p50/p90/p99) to stderr.")
+  in
+  let metrics_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry as JSON to $(docv) ('-' for \
+             stdout).")
+  in
+  Term.(
+    const (fun trace_file metrics metrics_json ->
+        { trace_file; metrics; metrics_json })
+    $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 let check_arg =
   Arg.(
@@ -339,8 +454,8 @@ let solve_t =
   Cmd.v
     (Cmd.info "solve" ~doc:"Compute a minimal classification.")
     Term.(
-      const solve_cmd $ lattice_arg $ policy_arg $ bounds_arg $ trace_arg
-      $ check_arg $ explain_arg $ output_arg)
+      const solve_cmd $ lattice_arg $ policy_arg $ bounds_arg $ events_arg
+      $ check_arg $ explain_arg $ output_arg $ obs_term)
 
 let batch_t =
   let policies_arg =
@@ -368,7 +483,9 @@ let batch_t =
        ~doc:
          "Solve many policy files against one lattice in parallel; results \
           are printed in input order.")
-    Term.(const batch_cmd $ lattice_arg $ policies_arg $ jobs_arg $ stats_arg)
+    Term.(
+      const batch_cmd $ lattice_arg $ policies_arg $ jobs_arg $ stats_arg
+      $ obs_term)
 
 let check_t =
   let assignment_arg =

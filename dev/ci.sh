@@ -10,4 +10,14 @@ dune build
 dune runtest
 dune exec bench/main.exe -- throughput-smoke
 
+# Observability smoke: a traced + metered parallel batch, then validate
+# the artifacts (Chrome-trace span nesting, JSON well-formedness).
+obs_tmp=$(mktemp -d)
+trap 'rm -rf "$obs_tmp"' EXIT
+dune exec -- mlsclassify batch -l test/cli.t/fig1b.lat --jobs 2 \
+  --trace "$obs_tmp/trace.json" --metrics-json "$obs_tmp/metrics.json" \
+  test/cli.t/employee.cst test/cli.t/employee.cst > /dev/null
+dune exec dev/validate_trace.exe -- "$obs_tmp/trace.json"
+dune exec dev/validate_trace.exe -- --json "$obs_tmp/metrics.json"
+
 echo "ci: OK"

@@ -1,0 +1,19 @@
+(* Baseline Instr counters on the acyclic n=2000 workload (bench seed 17). *)
+open Minup_lattice
+module ST = Minup_core.Solver.Make (Total)
+module Instr = Minup_core.Instr
+module Gen = Minup_workload.Gen_constraints
+module Prng = Minup_workload.Prng
+
+let ladder16 = Total.create (List.init 16 (Printf.sprintf "S%d"))
+
+let () =
+  let rng = Prng.create 17 in
+  let attrs, csts =
+    Gen.acyclic rng
+      { Gen.n_attrs = 2000; n_simple = 4000; n_complex = 1000; max_lhs = 4;
+        n_constants = 500; constants = List.init 16 Fun.id }
+  in
+  let p = ST.compile_exn ~lattice:ladder16 ~attrs csts in
+  let sol = ST.solve p in
+  Format.printf "%a@." Instr.pp sol.ST.stats

@@ -1,0 +1,102 @@
+(* Chrome-trace / JSON validator for CI (dev/ci.sh).
+
+   validate_trace.exe FILE          validate FILE as a Chrome trace:
+                                    top-level object, "traceEvents" array,
+                                    every B event matched by an E of the
+                                    same name on the same tid (properly
+                                    nested), timestamps present.
+   validate_trace.exe --json FILE   parse-only: FILE must be valid JSON.
+
+   Prints a one-line summary on success; prints the failure and exits 1
+   otherwise. *)
+
+module Json = Minup_obs.Json
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error m -> die "validate_trace: %s" m
+
+let parse path =
+  match Json.parse (read_file path) with
+  | Ok j -> j
+  | Error m -> die "validate_trace: %s: invalid JSON: %s" path m
+
+let str_field e k =
+  match Json.member k e with Some (Json.Str s) -> Some s | _ -> None
+
+let num_field e k =
+  match Json.member k e with Some (Json.Num v) -> Some v | _ -> None
+
+let validate_trace path =
+  let j = parse path in
+  let events =
+    match Json.member "traceEvents" j with
+    | Some (Json.Arr es) -> es
+    | Some _ -> die "validate_trace: %s: \"traceEvents\" is not an array" path
+    | None -> die "validate_trace: %s: no \"traceEvents\" field" path
+  in
+  (* Per-tid stack of open span names: B pushes, E must pop a matching
+     name — exactly the nesting contract chrome://tracing enforces. *)
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let n_spans = ref 0 and n_instants = ref 0 and n_meta = ref 0 in
+  List.iteri
+    (fun i e ->
+      let ph =
+        match str_field e "ph" with
+        | Some p -> p
+        | None -> die "validate_trace: %s: event %d has no \"ph\"" path i
+      in
+      let name = Option.value (str_field e "name") ~default:"?" in
+      let tid =
+        match num_field e "tid" with
+        | Some t -> int_of_float t
+        | None -> die "validate_trace: %s: event %d (%s) has no \"tid\"" path i name
+      in
+      if ph <> "M" && num_field e "ts" = None then
+        die "validate_trace: %s: event %d (%s) has no \"ts\"" path i name;
+      match ph with
+      | "M" -> incr n_meta
+      | "i" -> incr n_instants
+      | "B" ->
+          let st = Option.value (Hashtbl.find_opt stacks tid) ~default:[] in
+          Hashtbl.replace stacks tid (name :: st)
+      | "E" -> (
+          incr n_spans;
+          match Hashtbl.find_opt stacks tid with
+          | Some (top :: rest) when top = name ->
+              Hashtbl.replace stacks tid rest
+          | Some (top :: _) ->
+              die
+                "validate_trace: %s: event %d: E %S on tid %d but innermost \
+                 open span is %S"
+                path i name tid top
+          | _ ->
+              die "validate_trace: %s: event %d: E %S on tid %d with no open span"
+                path i name tid)
+      | _ -> die "validate_trace: %s: event %d: unknown ph %S" path i ph)
+    events;
+  Hashtbl.iter
+    (fun tid st ->
+      match st with
+      | [] -> ()
+      | names ->
+          die "validate_trace: %s: tid %d ends with unclosed span(s): %s" path
+            tid
+            (String.concat ", " (List.map (Printf.sprintf "%S") names)))
+    stacks;
+  Printf.printf
+    "validate_trace: %s ok: %d events (%d spans, %d instants, %d metadata)\n"
+    path (List.length events) !n_spans !n_instants !n_meta
+
+let validate_json path =
+  ignore (parse path);
+  Printf.printf "validate_trace: %s ok: valid JSON\n" path
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--json"; path ] -> validate_json path
+  | [ _; path ] -> validate_trace path
+  | _ -> die "usage: validate_trace [--json] FILE"

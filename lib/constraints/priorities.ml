@@ -40,16 +40,22 @@ let dfs ~succs ~visit ~on_discover ~on_finish root =
   end
 
 let compute p =
+  Minup_obs.Trace.with_span ~cat:"constraints"
+    ~args:[ ("attrs", Minup_obs.Trace.Int (Problem.n_attrs p)) ]
+    "priorities.compute"
+  @@ fun () ->
   let n = Problem.n_attrs p in
   let visit = Array.make n false in
   let finish_stack = ref [] in
   (* Pass 1: forward DFS, recording attributes as their visit concludes. *)
-  for a = 0 to n - 1 do
-    dfs ~succs:(forward_succs p) ~visit
-      ~on_discover:(fun _ -> ())
-      ~on_finish:(fun x -> finish_stack := x :: !finish_stack)
-      a
-  done;
+  Minup_obs.Trace.with_span ~cat:"constraints" "priorities.dfs_forward"
+    (fun () ->
+      for a = 0 to n - 1 do
+        dfs ~succs:(forward_succs p) ~visit
+          ~on_discover:(fun _ -> ())
+          ~on_finish:(fun x -> finish_stack := x :: !finish_stack)
+          a
+      done);
   (* Pass 2: walk the stack, assigning a fresh priority to each unvisited
      attribute and sweeping its backward-reachable unvisited region into the
      same priority set. *)
@@ -57,20 +63,22 @@ let compute p =
   let priority = Array.make n 0 in
   let sets = ref [] in
   let max_priority = ref 0 in
-  List.iter
-    (fun a ->
-      if not visit2.(a) then begin
-        incr max_priority;
-        let members = ref [] in
-        dfs ~succs:(backward_preds p) ~visit:visit2
-          ~on_discover:(fun x ->
-            priority.(x) <- !max_priority;
-            members := x :: !members)
-          ~on_finish:(fun _ -> ())
-          a;
-        sets := Array.of_list (List.rev !members) :: !sets
-      end)
-    !finish_stack;
+  Minup_obs.Trace.with_span ~cat:"constraints" "priorities.dfs_backward"
+    (fun () ->
+      List.iter
+        (fun a ->
+          if not visit2.(a) then begin
+            incr max_priority;
+            let members = ref [] in
+            dfs ~succs:(backward_preds p) ~visit:visit2
+              ~on_discover:(fun x ->
+                priority.(x) <- !max_priority;
+                members := x :: !members)
+              ~on_finish:(fun _ -> ())
+              a;
+            sets := Array.of_list (List.rev !members) :: !sets
+          end)
+        !finish_stack);
   {
     priority;
     sets = Array.of_list (List.rev !sets);

@@ -25,6 +25,7 @@ let pp_error ppf = function
 exception Err of error
 
 let compile ?(attrs = []) ?(strict = false) csts =
+  Minup_obs.Trace.with_span ~cat:"constraints" "problem.compile" @@ fun () ->
   try
     let names = ref [] and index = Hashtbl.create 64 and next = ref 0 in
     let declare a =

@@ -9,6 +9,10 @@ let succs p a =
     p.Problem.constr_of.(a)
 
 let compute p =
+  Minup_obs.Trace.with_span ~cat:"constraints"
+    ~args:[ ("attrs", Minup_obs.Trace.Int (Problem.n_attrs p)) ]
+    "scc.compute"
+  @@ fun () ->
   let n = Problem.n_attrs p in
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in

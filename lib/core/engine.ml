@@ -1,3 +1,7 @@
+module Trace = Minup_obs.Trace
+module Metrics = Minup_obs.Metrics
+module Clock = Minup_obs.Clock
+
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 module Make (L : Minup_lattice.Lattice_intf.S) = struct
@@ -22,31 +26,99 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
       | Some j -> min j (max 1 n)
       | None -> min (default_jobs ()) (max 1 n)
     in
+    (* Latched once per batch, like the solver: the disabled path is a
+       branch per site, with no clocks or atomics touched. *)
+    let tracing = Trace.enabled () in
+    let metering = Metrics.enabled () in
+    let observing = tracing || metering in
     let solve p = Solver.solve ?residual ?upgrade_preference p in
+    (* One solve, attributed to a worker/problem pair on the trace; the
+       span is closed on the exception path too so B/E pairs stay
+       matched. *)
+    let solve1 ~worker i =
+      if tracing then
+        Trace.begin_span ~cat:"engine"
+          ~args:[ ("problem", Trace.Int i); ("worker", Trace.Int worker) ]
+          "solve_task";
+      let finish () = if tracing then Trace.end_span ~cat:"engine" "solve_task" in
+      match solve problems.(i) with
+      | s ->
+          finish ();
+          s
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          finish ();
+          Printexc.raise_with_backtrace e bt
+    in
+    (* Per-worker load-balance diagnostics: how many solves each worker
+       claimed, and how long it spent claiming work off the shared queue
+       (one histogram sample per worker = the distribution across the
+       pool). *)
+    let record_worker ~worker ~solved ~wait_ns =
+      if metering then begin
+        Metrics.add
+          (Metrics.counter (Printf.sprintf "engine/worker%d/solves" worker))
+          solved;
+        Metrics.observe
+          (Metrics.histogram "engine/queue_wait_ns")
+          (Int64.to_int wait_ns)
+      end
+    in
     let solutions =
-      if jobs = 1 || n <= 1 then Array.map solve problems
+      if jobs = 1 || n <= 1 then begin
+        if tracing then
+          Trace.begin_span ~cat:"engine"
+            ~args:[ ("worker", Trace.Int 0) ]
+            "worker";
+        let sols = Array.init n (fun i -> solve1 ~worker:0 i) in
+        record_worker ~worker:0 ~solved:n ~wait_ns:0L;
+        if tracing then
+          Trace.end_span ~cat:"engine"
+            ~args:[ ("solves", Trace.Int n) ]
+            "worker";
+        sols
+      end
       else begin
         let results = Array.make n None in
         let next = Atomic.make 0 in
-        let worker () =
+        let worker w () =
+          if tracing then
+            Trace.begin_span ~cat:"engine"
+              ~args:[ ("worker", Trace.Int w) ]
+              "worker";
+          let solved = ref 0 in
+          let wait_ns = ref 0L in
           let continue = ref true in
           while !continue do
+            let t_claim = if observing then Clock.now_ns () else 0L in
             let i = Atomic.fetch_and_add next 1 in
+            if observing then
+              wait_ns := Int64.add !wait_ns (Clock.elapsed_ns ~since:t_claim);
             if i >= n then continue := false
             else begin
               let r =
-                match solve problems.(i) with
+                match solve1 ~worker:w i with
                 | s -> Ok s
                 | exception e -> Error (e, Printexc.get_raw_backtrace ())
               in
-              results.(i) <- Some r
+              results.(i) <- Some r;
+              incr solved
             end
-          done
+          done;
+          record_worker ~worker:w ~solved:!solved ~wait_ns:!wait_ns;
+          if tracing then
+            Trace.end_span ~cat:"engine"
+              ~args:
+                [
+                  ("solves", Trace.Int !solved);
+                  ("queue_wait_ns", Trace.Int (Int64.to_int !wait_ns));
+                ]
+              "worker"
         in
-        (* The calling domain is worker number [jobs]; only [jobs - 1] are
-           spawned. *)
-        let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-        worker ();
+        (* The calling domain is worker number [jobs - 1]; only [jobs - 1]
+           are spawned. *)
+        let spawned = Array.init (jobs - 1) (fun w -> Domain.spawn (worker w)) in
+        worker (jobs - 1) ();
         Array.iter Domain.join spawned;
         Array.map
           (function

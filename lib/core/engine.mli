@@ -15,7 +15,14 @@
 
     There is no [?on_event] here: trace callbacks from concurrent solves
     would interleave nondeterministically.  Solve traced problems one at a
-    time with {!Solver.Make.solve}. *)
+    time with {!Solver.Make.solve} — or use the structured tracer: with
+    {!Minup_obs.Trace} enabled, every worker emits a [worker] span (with
+    its solve count and cumulative queue-wait time) and a [solve_task] span
+    per claimed problem on its own per-domain track, and with
+    {!Minup_obs.Metrics} enabled the engine records per-worker solve
+    counters ([engine/workerN/solves]) and the queue-wait distribution
+    ([engine/queue_wait_ns]) for load-balance diagnosis.  Both are disabled
+    by default and cost one branch per site when off. *)
 
 (** [Domain.recommended_domain_count ()], floored at 1 — the default worker
     count. *)

@@ -37,7 +37,55 @@ let sum ts =
 
 let lattice_ops t = t.lub + t.glb + t.leq
 
+(* Field (name, value) pairs in declaration order — the one order shared by
+   [pp], [to_json] and [of_json]. *)
+let to_alist t =
+  [
+    ("lub", t.lub);
+    ("glb", t.glb);
+    ("leq", t.leq);
+    ("minlevel_calls", t.minlevel_calls);
+    ("try_calls", t.try_calls);
+    ("try_iterations", t.try_iterations);
+    ("constraint_checks", t.constraint_checks);
+  ]
+
 let pp ppf t =
   Format.fprintf ppf
     "lub=%d glb=%d leq=%d minlevel=%d try=%d try_iters=%d checks=%d" t.lub t.glb
     t.leq t.minlevel_calls t.try_calls t.try_iterations t.constraint_checks
+
+let to_json t =
+  Minup_obs.Json.Obj
+    (List.map
+       (fun (k, v) -> (k, Minup_obs.Json.Num (float_of_int v)))
+       (to_alist t))
+
+let of_json j =
+  let exception Bad of string in
+  match j with
+  | Minup_obs.Json.Obj _ -> (
+      let get k =
+        match Minup_obs.Json.member k j with
+        | Some (Minup_obs.Json.Num f) when Float.is_integer f -> int_of_float f
+        | Some _ -> raise (Bad (k ^ " is not an integer"))
+        | None -> raise (Bad ("missing field " ^ k))
+      in
+      try
+        Ok
+          {
+            lub = get "lub";
+            glb = get "glb";
+            leq = get "leq";
+            minlevel_calls = get "minlevel_calls";
+            try_calls = get "try_calls";
+            try_iterations = get "try_iterations";
+            constraint_checks = get "constraint_checks";
+          }
+      with Bad msg -> Error msg)
+  | _ -> Error "expected an object"
+
+let to_metrics t =
+  List.iter
+    (fun (k, v) -> Minup_obs.Metrics.(add (counter ("instr/" ^ k)) v))
+    (to_alist t)

@@ -28,4 +28,21 @@ val sum : t array -> t
 (** Total lattice operations ([lub + glb + leq]). *)
 val lattice_ops : t -> int
 
+(** Counters as (name, value) pairs, in field declaration order. *)
+val to_alist : t -> (string * int) list
+
+(** Prints every counter in field declaration order:
+    [lub=_ glb=_ leq=_ minlevel=_ try=_ try_iters=_ checks=_]
+    — [try_iterations] before [constraint_checks], matching the record. *)
 val pp : Format.formatter -> t -> unit
+
+(** JSON object with the counters as integer fields, in the same order as
+    {!pp}.  [of_json] is its inverse (accepts any field order, rejects
+    missing or non-integer fields). *)
+val to_json : t -> Minup_obs.Json.t
+
+val of_json : Minup_obs.Json.t -> (t, string) result
+
+(** Absorb the counters into the {!Minup_obs.Metrics} registry, adding each
+    field into the counter [instr/<field>]. *)
+val to_metrics : t -> unit

@@ -1,4 +1,7 @@
 open Minup_constraints
+module Trace = Minup_obs.Trace
+module Metrics = Minup_obs.Metrics
+module Clock = Minup_obs.Clock
 
 module Make (L : Minup_lattice.Lattice_intf.S) = struct
   type problem = {
@@ -8,6 +11,7 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
   }
 
   let compile ~lattice ?attrs csts =
+    Trace.with_span ~cat:"solver" "compile" @@ fun () ->
     match Problem.compile ?attrs csts with
     | Error _ as e -> e
     | Ok prob -> Ok { lat = lattice; prob; prio = Priorities.compute prob }
@@ -44,6 +48,33 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
     let n = Problem.n_attrs prob in
     let csts = prob.Problem.csts in
     let stats = Instr.create () in
+    (* Observability is latched once per solve: every instrumentation site
+       below is guarded by one of these two booleans, so the disabled path
+       costs exactly one branch per site — no clock reads, no allocation,
+       and (critically) no effect on the [Instr] counters, which stay
+       identical whether tracing is on or off. *)
+    let tracing = Trace.enabled () in
+    let metering = Metrics.enabled () in
+    (* Registry lookups take a mutex; resolve the handles once per solve so
+       metered parallel batches do not serialize on per-attribute lookups. *)
+    let m =
+      if metering then
+        Some
+          ( Metrics.counter "solver/back_assigned",
+            Metrics.counter "solver/forward_lowered",
+            Metrics.histogram "solver/try_iters_per_scc" )
+      else None
+    in
+    let t_solve0 = if tracing || metering then Clock.now_ns () else 0L in
+    if tracing then
+      Trace.begin_span ~ts_ns:t_solve0 ~cat:"solver"
+        ~args:
+          [
+            ("attrs", Trace.Int n);
+            ("csts", Trace.Int (Array.length csts));
+            ("bounds_mode", Trace.Bool bounds_mode);
+          ]
+        "solve";
     let bottom = L.bottom lat in
     let top = L.top lat in
     (* Instrumented lattice operations.  ⊥ is the identity of lub and ⊤ the
@@ -267,7 +298,7 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
       | None -> fun a -> (0, a)
       | Some pref -> fun a -> (pref (Problem.attr_name prob a), a)
     in
-    let set_order =
+    let compute_set_order () =
       match upgrade_preference with
       | None ->
           List.init prio.Priorities.max_priority (fun i ->
@@ -327,13 +358,29 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
           done;
           List.rev !order
     in
+    let set_order =
+      if tracing then
+        Trace.with_span ~cat:"solver" "schedule" compute_set_order
+      else compute_set_order ()
+    in
+    if tracing then Trace.begin_span ~cat:"solver" "bigloop";
     List.iter
       (fun p ->
       let members = Array.copy prio.Priorities.sets.(p - 1) in
       Array.sort (fun a b -> compare (member_key a) (member_key b)) members;
+      (* A span per non-trivial priority set (= SCC subject to forward
+         lowering); singleton sets are far too numerous on acyclic inputs
+         to each deserve a span of their own. *)
+      let scc_span = tracing && Array.length members > 1 in
+      if scc_span then
+        Trace.begin_span ~cat:"solver"
+          ~args:
+            [ ("priority", Trace.Int p); ("size", Trace.Int (Array.length members)) ]
+          "scc";
       Array.iter
         (fun a ->
           on_event (Consider { attr = attr_name a; priority = p });
+          let t_attr0 = if tracing then Clock.now_ns () else 0L in
           done_.(a) <- true;
           let l = ref bottom in
           List.iter
@@ -351,9 +398,33 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
           if done_.(a) then begin
             lam.(a) <- !l;
             finalize a;
+            (* Whether the scan was a back-propagation is only known now,
+               so the span is emitted retroactively from the timestamp
+               taken before the scan. *)
+            if tracing then
+              Trace.span_at ~start_ns:t_attr0 ~end_ns:(Clock.now_ns ())
+                ~cat:"solver"
+                ~args:
+                  [ ("attr", Trace.Str (attr_name a)); ("priority", Trace.Int p) ]
+                "back_propagate";
+            (match m with
+            | Some (back, _, _) -> Metrics.incr back
+            | None -> ());
             on_event (Back_assigned { attr = attr_name a; level = !l })
           end
           else begin
+            if tracing then begin
+              Trace.span_at ~start_ns:t_attr0 ~end_ns:(Clock.now_ns ())
+                ~cat:"solver"
+                ~args:[ ("attr", Trace.Str (attr_name a)) ]
+                "minlevel_scan";
+              Trace.begin_span ~cat:"solver"
+                ~args:
+                  [ ("attr", Trace.Str (attr_name a)); ("priority", Trace.Int p) ]
+                "try_lower"
+            end;
+            let tries0 = stats.Instr.try_calls
+            and iters0 = stats.Instr.try_iterations in
             (* Forward lowering through the cycle: DSet holds the maximal
                levels strictly below λ(A) that still dominate the lower
                bound l — exactly the covers of λ(A) dominating l. *)
@@ -389,10 +460,43 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
             done;
             done_.(a) <- true;
             finalize a;
+            let try_iters = stats.Instr.try_iterations - iters0 in
+            if tracing then
+              Trace.end_span ~cat:"solver"
+                ~args:
+                  [
+                    ("tries", Trace.Int (stats.Instr.try_calls - tries0));
+                    ("iterations", Trace.Int try_iters);
+                  ]
+                "try_lower";
+            (match m with
+            | Some (_, fwd, iters_h) ->
+                Metrics.incr fwd;
+                Metrics.observe iters_h try_iters
+            | None -> ());
             on_event (Finalized { attr = attr_name a; level = lam.(a) })
           end)
-        members)
+        members;
+      if scc_span then Trace.end_span ~cat:"solver" "scc")
       set_order;
+    if tracing then begin
+      Trace.end_span ~cat:"solver" "bigloop";
+      Trace.end_span ~cat:"solver"
+        ~args:
+          [
+            ("lub", Trace.Int stats.Instr.lub);
+            ("leq", Trace.Int stats.Instr.leq);
+            ("minlevel_calls", Trace.Int stats.Instr.minlevel_calls);
+            ("try_calls", Trace.Int stats.Instr.try_calls);
+          ]
+        "solve"
+    end;
+    if metering then begin
+      Metrics.incr (Metrics.counter "solver/solves");
+      Metrics.observe
+        (Metrics.histogram "solver/solve_ns")
+        (Int64.to_int (Clock.elapsed_ns ~since:t_solve0))
+    end;
     {
       levels = lam;
       assignment =

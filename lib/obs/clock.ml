@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "minup_obs_now_ns"
+
+let elapsed_ns ~since = Int64.sub (now_ns ()) since
+let ns_to_us ns = Int64.to_float ns /. 1e3

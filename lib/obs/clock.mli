@@ -1,0 +1,15 @@
+(** Monotonic time source shared by {!Trace} and {!Metrics}.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] through a C stub: immune to
+    wall-clock adjustments, comparable across domains of one process, and
+    cheap enough to call on instrumentation hot paths. *)
+
+(** Nanoseconds since an arbitrary (per-boot) origin.  Only differences are
+    meaningful. *)
+val now_ns : unit -> int64
+
+(** [elapsed_ns ~since] is [now_ns () - since]. *)
+val elapsed_ns : since:int64 -> int64
+
+(** Nanoseconds to the microseconds used by the Chrome trace-event format. *)
+val ns_to_us : int64 -> float

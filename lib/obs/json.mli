@@ -1,0 +1,29 @@
+(** Minimal JSON values: rendering with correct escaping, and a strict
+    parser.
+
+    The observability layer emits (traces, metrics, benchmark baselines)
+    and validates (tests, CI smoke) JSON without any external dependency —
+    this module is that common currency.  It is deliberately small: one
+    value type, one renderer, one parser, one accessor. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Render to a compact (or, with [~pretty:true], indented) JSON string.
+    Integral [Num]s of magnitude below 1e15 print without a decimal point;
+    non-finite numbers render as [null] to keep the output valid JSON. *)
+val to_string : ?pretty:bool -> t -> string
+
+(** Strict parse of a complete JSON document (trailing garbage is an
+    error).  Handles the full string escape set including [\uXXXX] and
+    surrogate pairs (decoded to UTF-8). *)
+val parse : string -> (t, string) result
+
+(** [member k j] is the value of field [k] if [j] is an object that has
+    one. *)
+val member : string -> t -> t option

@@ -1,0 +1,210 @@
+type counter = { cname : string; cv : int Atomic.t }
+type gauge = { gname : string; gv : float Atomic.t }
+
+let n_buckets = 63
+
+type histogram = {
+  hname : string;
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  vmin : int Atomic.t;  (* max_int while empty *)
+  vmax : int Atomic.t;  (* min_int while empty *)
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let lock = Mutex.create ()
+let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let kind_error name = invalid_arg ("Metrics: " ^ name ^ " registered as a different metric kind")
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Counter c) -> c
+      | Some _ -> kind_error name
+      | None ->
+          let c = { cname = name; cv = Atomic.make 0 } in
+          Hashtbl.replace table name (Counter c);
+          c)
+
+let incr c = Atomic.incr c.cv
+let add c n = ignore (Atomic.fetch_and_add c.cv n)
+let counter_value c = Atomic.get c.cv
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Gauge g) -> g
+      | Some _ -> kind_error name
+      | None ->
+          let g = { gname = name; gv = Atomic.make 0. } in
+          Hashtbl.replace table name (Gauge g);
+          g)
+
+let set g v = Atomic.set g.gv v
+let gauge_value g = Atomic.get g.gv
+
+let histogram name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Histogram h) -> h
+      | Some _ -> kind_error name
+      | None ->
+          let h =
+            {
+              hname = name;
+              buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+              count = Atomic.make 0;
+              sum = Atomic.make 0;
+              vmin = Atomic.make max_int;
+              vmax = Atomic.make min_int;
+            }
+          in
+          Hashtbl.replace table name (Histogram h);
+          h)
+
+(* Bucket 0 holds the value 0; bucket k >= 1 holds [2^(k-1), 2^k), i.e.
+   k = floor(log2 v) + 1, capped at the last bucket. *)
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    let k = ref 0 and x = ref v in
+    while !x > 0 do
+      Stdlib.incr k;
+      x := !x lsr 1
+    done;
+    min !k (n_buckets - 1)
+  end
+
+let bucket_lo k = if k = 0 then 0. else 2. ** float_of_int (k - 1)
+let bucket_hi k = if k = 0 then 1. else 2. ** float_of_int k
+
+let rec cas_extremum better cell v =
+  let cur = Atomic.get cell in
+  if better v cur && not (Atomic.compare_and_set cell cur v) then
+    cas_extremum better cell v
+
+let observe h v =
+  let v = if v < 0 then 0 else v in
+  Atomic.incr h.buckets.(bucket_index v);
+  Atomic.incr h.count;
+  ignore (Atomic.fetch_and_add h.sum v);
+  cas_extremum ( < ) h.vmin v;
+  cas_extremum ( > ) h.vmax v
+
+let histogram_count h = Atomic.get h.count
+
+let percentile h q =
+  let total = Atomic.get h.count in
+  if total = 0 then 0.
+  else begin
+    let target = Float.max 1. (q *. float_of_int total) in
+    let cum = ref 0. in
+    let result = ref (float_of_int (Atomic.get h.vmax)) in
+    let found = ref false in
+    for k = 0 to n_buckets - 1 do
+      if not !found then begin
+        let c = float_of_int (Atomic.get h.buckets.(k)) in
+        if c > 0. && !cum +. c >= target then begin
+          let lo = bucket_lo k and hi = bucket_hi k in
+          result := lo +. ((hi -. lo) *. ((target -. !cum) /. c));
+          found := true
+        end;
+        cum := !cum +. c
+      end
+    done;
+    Float.min
+      (float_of_int (Atomic.get h.vmax))
+      (Float.max (float_of_int (Atomic.get h.vmin)) !result)
+  end
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | Counter c -> Atomic.set c.cv 0
+          | Gauge g -> Atomic.set g.gv 0.
+          | Histogram h ->
+              Array.iter (fun b -> Atomic.set b 0) h.buckets;
+              Atomic.set h.count 0;
+              Atomic.set h.sum 0;
+              Atomic.set h.vmin max_int;
+              Atomic.set h.vmax min_int)
+        table)
+
+let clear () = locked (fun () -> Hashtbl.reset table)
+
+let dump () =
+  let items = locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []) in
+  List.sort (fun (a, _) (b, _) -> compare a b) items
+
+let histogram_summary h =
+  let count = Atomic.get h.count in
+  let zero_if_empty v = if count = 0 then 0 else v in
+  ( count,
+    Atomic.get h.sum,
+    zero_if_empty (Atomic.get h.vmin),
+    zero_if_empty (Atomic.get h.vmax),
+    percentile h 0.50,
+    percentile h 0.90,
+    percentile h 0.99 )
+
+let pp ppf () =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> Format.fprintf ppf "counter %s %d@." name (Atomic.get c.cv)
+      | Gauge g -> Format.fprintf ppf "gauge %s %g@." name (Atomic.get g.gv)
+      | Histogram h ->
+          let count, sum, mn, mx, p50, p90, p99 = histogram_summary h in
+          Format.fprintf ppf
+            "histogram %s count=%d sum=%d min=%d max=%d p50=%.0f p90=%.0f \
+             p99=%.0f@."
+            name count sum mn mx p50 p90 p99)
+    (dump ())
+
+let to_json () =
+  let items = dump () in
+  let pick f = List.filter_map f items in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (pick (function
+            | name, Counter c -> Some (name, Json.Num (float_of_int (Atomic.get c.cv)))
+            | _ -> None)) );
+      ( "gauges",
+        Json.Obj
+          (pick (function
+            | name, Gauge g -> Some (name, Json.Num (Atomic.get g.gv))
+            | _ -> None)) );
+      ( "histograms",
+        Json.Obj
+          (pick (function
+            | name, Histogram h ->
+                let count, sum, mn, mx, p50, p90, p99 = histogram_summary h in
+                Some
+                  ( name,
+                    Json.Obj
+                      [
+                        ("count", Json.Num (float_of_int count));
+                        ("sum", Json.Num (float_of_int sum));
+                        ("min", Json.Num (float_of_int mn));
+                        ("max", Json.Num (float_of_int mx));
+                        ("p50", Json.Num p50);
+                        ("p90", Json.Num p90);
+                        ("p99", Json.Num p99);
+                      ] )
+            | _ -> None)) );
+    ]

@@ -1,0 +1,16 @@
+/* Monotonic clock for tracing and latency metrics.  CLOCK_MONOTONIC never
+   jumps backward on NTP adjustments, which keeps span begin/end pairs and
+   latency deltas well-formed. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value minup_obs_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL +
+                         (int64_t)ts.tv_nsec);
+}

@@ -1,0 +1,89 @@
+(** Structured execution tracing in the Chrome trace-event format.
+
+    Spans ([B]/[E] pairs) and instant events accumulate in {e per-domain}
+    buffers — no lock on the emit path, no cross-domain interleaving — and
+    export as a JSON document loadable in Perfetto ({:https://ui.perfetto.dev})
+    or [chrome://tracing].  Each OCaml domain appears as its own track
+    ([tid] = domain id).
+
+    Tracing is {e disabled by default} and every emit function starts with
+    a single load-and-branch on the global flag, so instrumentation left in
+    hot paths costs one predictable branch when off.  Instrumentation must
+    never perform counted work of its own: with tracing off, instrumented
+    code is behaviourally identical to uninstrumented code (the
+    [Instr]-counter identity checked by [dev/counters_check.ml]).
+
+    Typical lifecycle:
+    {[
+      Trace.start ();
+      (* ... run the traced workload ... *)
+      Trace.stop ();
+      Trace.write "trace.json"
+    ]} *)
+
+(** Span/event argument values, rendered into the event's [args] object. *)
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+(** One recorded event (exposed for tests and custom sinks). *)
+type event = {
+  ph : char;  (** 'B', 'E' or 'i' *)
+  name : string;
+  cat : string;
+  ts_ns : int64;
+  tid : int;  (** domain id of the emitting domain *)
+  args : (string * arg) list;
+}
+
+val enabled : unit -> bool
+
+(** Drop all previously collected events and enable collection. *)
+val start : unit -> unit
+
+(** Disable collection; collected events remain available for export. *)
+val stop : unit -> unit
+
+(** [begin_span name] opens a span on the calling domain's track; close it
+    with {!end_span} [name] on the same domain.  [ts_ns] overrides the
+    timestamp (used to emit a span retroactively); [cat] defaults to
+    ["minup"].  No-ops when disabled. *)
+val begin_span :
+  ?ts_ns:int64 -> ?args:(string * arg) list -> ?cat:string -> string -> unit
+
+(** Arguments on the end event are merged with the begin event's by the
+    viewer, so end-of-span measurements (iteration counts, deltas) can ride
+    on [end_span]. *)
+val end_span :
+  ?ts_ns:int64 -> ?args:(string * arg) list -> ?cat:string -> string -> unit
+
+(** A zero-duration marker event. *)
+val instant :
+  ?ts_ns:int64 -> ?args:(string * arg) list -> ?cat:string -> string -> unit
+
+(** [span_at ~start_ns ~end_ns name] emits a matched B/E pair with explicit
+    timestamps — for phases whose identity is only known once finished. *)
+val span_at :
+  start_ns:int64 ->
+  end_ns:int64 ->
+  ?args:(string * arg) list ->
+  ?cat:string ->
+  string ->
+  unit
+
+(** [with_span name f] wraps [f ()] in a span (exception-safe).  When
+    disabled this is exactly [f ()]. *)
+val with_span :
+  ?args:(string * arg) list -> ?cat:string -> string -> (unit -> 'a) -> 'a
+
+(** All collected events, merged across domains in timestamp order. *)
+val events : unit -> event list
+
+val event_count : unit -> int
+
+(** The Chrome trace document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}].  Timestamps are
+    microseconds relative to the earliest event; thread-name metadata
+    records each domain. *)
+val to_json : unit -> Json.t
+
+(** Write {!to_json} to a file. *)
+val write : string -> unit

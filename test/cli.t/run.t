@@ -40,6 +40,38 @@ whatever the worker count, and --jobs is clamped to the batch size:
   $ mlsclassify batch -l fig1b.lat -j 3 --stats employee.cst 2>&1 >/dev/null
   problems=1 jobs=1 lub=1 glb=0 leq=6 minlevel=2 try=0 try_iters=0 checks=0
 
+Observability: --trace writes a Chrome trace-event file, --metrics prints
+a registry snapshot on stderr (counters are deterministic; timing gauges
+and histograms are not, so only counters are checked here):
+
+  $ mlsclassify solve -l fig1b.lat -c employee.cst --trace t.json --metrics 2>metrics.txt
+  name                     L1
+  salary                   L6
+  rank                     L1
+  department               L6
+  $ grep -o '"name":"solve",' t.json | wc -l
+  2
+  $ grep '^counter ' metrics.txt
+  counter instr/constraint_checks 0
+  counter instr/glb 0
+  counter instr/leq 8
+  counter instr/lub 1
+  counter instr/minlevel_calls 4
+  counter instr/try_calls 0
+  counter instr/try_iterations 0
+  counter solver/back_assigned 4
+  counter solver/forward_lowered 0
+  counter solver/solves 1
+
+In batch mode every worker domain appears as a traced span (2 workers x
+B/E = 4 events) and --metrics-json aggregates the whole batch:
+
+  $ mlsclassify batch -l fig1b.lat --jobs 2 --trace bt.json --metrics-json bm.json employee.cst employee.cst > /dev/null
+  $ grep -o '"name":"worker",' bt.json | wc -l
+  4
+  $ grep '"instr/lub"' bm.json
+      "instr/lub": 2,
+
 Minimality can be verified exhaustively on small instances:
 
   $ mlsclassify solve -l fig1b.lat -c employee.cst --check-minimal

@@ -1,0 +1,373 @@
+(* Observability layer: Json render/parse, Metrics bucketing and
+   percentiles, Trace span collection/export, and the Instr bridge.
+
+   Trace and Metrics are process-global; every test that enables them
+   disables and clears them before returning so the suites stay
+   order-independent. *)
+
+open Minup_lattice
+module Json = Minup_obs.Json
+module Metrics = Minup_obs.Metrics
+module Trace = Minup_obs.Trace
+module Instr = Minup_core.Instr
+module Paper = Minup_core.Paper
+module SE = Minup_core.Solver.Make (Explicit)
+module Engine = Minup_core.Engine.Make (Explicit)
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checks = check Alcotest.string
+let checkb = check Alcotest.bool
+
+(* --- Json ----------------------------------------------------------- *)
+
+let roundtrip j =
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> j'
+  | Error m -> Alcotest.failf "reparse failed: %s" m
+
+let test_json_render () =
+  checks "integral without point" "42" (Json.to_string (Json.Num 42.));
+  checks "negative integral" "-7" (Json.to_string (Json.Num (-7.)));
+  checks "fraction" "0.5" (Json.to_string (Json.Num 0.5));
+  checks "non-finite is null" "null" (Json.to_string (Json.Num Float.nan));
+  checks "escapes"
+    {|"a\"b\\c\nd"|}
+    (Json.to_string (Json.Str "a\"b\\c\nd"));
+  checks "compact object" {|{"a":1,"b":[true,null]}|}
+    (Json.to_string (Json.Obj [ ("a", Num 1.); ("b", Arr [ Bool true; Null ]) ]));
+  checks "pretty object" "{\n  \"a\": 1\n}"
+    (Json.to_string ~pretty:true (Json.Obj [ ("a", Num 1.) ]))
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("s", Str "héllo \"quoted\" \t tab");
+        ("n", Num 3.25);
+        ("i", Num 1234567.);
+        ("l", Arr [ Null; Bool false; Obj []; Arr [] ]);
+      ]
+  in
+  checkb "roundtrip equal" true (roundtrip j = j);
+  (match Json.parse {|{"u": "é😀"}|} with
+  | Ok j -> (
+      match Json.member "u" j with
+      | Some (Json.Str s) -> checks "utf8 escapes" "\xc3\xa9\xf0\x9f\x98\x80" s
+      | _ -> Alcotest.fail "missing \"u\"")
+  | Error m -> Alcotest.failf "unicode parse failed: %s" m)
+
+let test_json_errors () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "parse accepted %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\" 1}";
+  bad "\"unterminated";
+  bad "\"bad \\q escape\"";
+  bad "nul";
+  bad "1 2";
+  bad "{\"a\":1} trailing"
+
+(* --- Metrics -------------------------------------------------------- *)
+
+let with_metrics f =
+  Metrics.enable ();
+  Metrics.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.disable ();
+      Metrics.clear ())
+    f
+
+let test_bucket_index () =
+  List.iter
+    (fun (v, b) ->
+      checki (Printf.sprintf "bucket_index %d" v) b (Metrics.bucket_index v))
+    [
+      (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4); (1023, 10);
+      (1024, 11); (max_int, 62);
+    ]
+
+let test_histogram_percentiles () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test/h" in
+  for v = 1 to 1000 do
+    Metrics.observe h v
+  done;
+  checki "count" 1000 (Metrics.histogram_count h);
+  let in_range name lo hi v =
+    if v < lo || v > hi then
+      Alcotest.failf "%s = %g not in [%g, %g]" name v lo hi
+  in
+  in_range "p50" 256. 512. (Metrics.percentile h 0.5);
+  in_range "p90" 512. 1000. (Metrics.percentile h 0.9);
+  in_range "p99" 512. 1000. (Metrics.percentile h 0.99);
+  (* Percentiles are clamped to the observed extremes. *)
+  in_range "p001" 1. 2. (Metrics.percentile h 0.001);
+  checkb "p100 at max" true (Metrics.percentile h 1.0 = 1000.);
+  let one = Metrics.histogram "test/one" in
+  Metrics.observe one 777;
+  checkb "single sample p50" true (Metrics.percentile one 0.5 = 777.);
+  checkb "empty percentile" true
+    (Metrics.percentile (Metrics.histogram "test/empty") 0.5 = 0.)
+
+let test_metrics_registry () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test/c" in
+  Metrics.incr c;
+  Metrics.add c 9;
+  checki "counter" 10 (Metrics.counter_value c);
+  checkb "same handle" true (Metrics.counter "test/c" == c);
+  let g = Metrics.gauge "test/g" in
+  Metrics.set g 2.5;
+  checkb "gauge" true (Metrics.gauge_value g = 2.5);
+  (match Metrics.counter "test/g" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash accepted");
+  (* Snapshot shape: three sorted sections with our metrics in them. *)
+  let j = Metrics.to_json () in
+  (match Json.member "counters" j with
+  | Some (Json.Obj fields) ->
+      checkb "counter in snapshot" true
+        (List.assoc_opt "test/c" fields = Some (Json.Num 10.))
+  | _ -> Alcotest.fail "no counters section");
+  Metrics.reset ();
+  checki "reset zeroes" 0 (Metrics.counter_value c);
+  checkb "reset keeps registration" true (Metrics.counter "test/c" == c)
+
+let test_metrics_concurrent () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test/conc" in
+  let h = Metrics.histogram "test/conc_h" in
+  let worker () =
+    for i = 1 to 10_000 do
+      Metrics.incr c;
+      Metrics.observe h (i land 1023)
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join domains;
+  checki "4x10k increments" 40_000 (Metrics.counter_value c);
+  checki "4x10k samples" 40_000 (Metrics.histogram_count h)
+
+(* --- Trace ---------------------------------------------------------- *)
+
+let with_trace f =
+  Trace.start ();
+  Fun.protect ~finally:Trace.stop f
+
+let test_trace_disabled () =
+  Trace.start ();
+  Trace.stop ();
+  Trace.begin_span "ghost";
+  Trace.end_span "ghost";
+  Trace.instant "ghost";
+  checki "no events when disabled" 0 (Trace.event_count ());
+  checkb "with_span is transparent" true (Trace.with_span "ghost" (fun () -> true));
+  checki "still none" 0 (Trace.event_count ())
+
+let test_trace_nesting () =
+  with_trace (fun () ->
+      Trace.with_span ~cat:"t" "outer" (fun () ->
+          Trace.instant ~args:[ ("k", Trace.Int 3) ] "mark";
+          Trace.with_span ~cat:"t" "inner" Fun.id);
+      Trace.span_at ~start_ns:5L ~end_ns:9L "retro");
+  let phs =
+    List.map (fun (e : Trace.event) -> (e.ph, e.name)) (Trace.events ())
+  in
+  (* span_at's explicit 5ns..9ns timestamps sort before the wall-clock
+     events of the live spans. *)
+  checkb "event sequence" true
+    (phs
+    = [
+        ('B', "retro"); ('E', "retro"); ('B', "outer"); ('i', "mark");
+        ('B', "inner"); ('E', "inner"); ('E', "outer");
+      ]);
+  (* start() drops previously collected events. *)
+  with_trace (fun () -> Trace.instant "fresh");
+  checki "start clears" 1 (Trace.event_count ())
+
+(* Walk exported traceEvents checking every B has a matching same-name E on
+   the same tid, properly nested — the contract chrome://tracing needs. *)
+let check_chrome_json j =
+  let events =
+    match Json.member "traceEvents" j with
+    | Some (Json.Arr es) -> es
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let stacks = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let str k =
+        match Json.member k e with Some (Json.Str s) -> s | _ -> "?"
+      in
+      let tid =
+        match Json.member "tid" e with
+        | Some (Json.Num v) -> int_of_float v
+        | _ -> Alcotest.fail "event without tid"
+      in
+      match str "ph" with
+      | "B" ->
+          Hashtbl.replace stacks tid
+            (str "name"
+            :: Option.value (Hashtbl.find_opt stacks tid) ~default:[])
+      | "E" -> (
+          match Hashtbl.find_opt stacks tid with
+          | Some (top :: rest) when top = str "name" ->
+              Hashtbl.replace stacks tid rest
+          | _ -> Alcotest.failf "unmatched E %S on tid %d" (str "name") tid)
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun tid -> function
+      | [] -> ()
+      | names ->
+          Alcotest.failf "tid %d has unclosed spans: %s" tid
+            (String.concat "," names))
+    stacks;
+  events
+
+let test_trace_export () =
+  with_trace (fun () ->
+      Trace.with_span ~args:[ ("n", Trace.Int 1) ] "a" (fun () ->
+          Trace.with_span "b" Fun.id;
+          Trace.with_span "b" Fun.id));
+  let j = roundtrip (Trace.to_json ()) in
+  let events = check_chrome_json j in
+  (* 6 span events + process_name + one thread_name for the only tid. *)
+  checki "event count" 8 (List.length events);
+  let spans =
+    List.filter (fun e -> Json.member "ph" e = Some (Json.Str "B")) events
+  in
+  checki "B events" 3 (List.length spans)
+
+(* --- instrumentation: observing must not change solver counters ------ *)
+
+let fig2_problem () =
+  SE.compile_exn ~lattice:Paper.fig1b ~attrs:Paper.fig2_attrs
+    Paper.fig2_constraints
+
+let test_observed_solve_identity () =
+  let baseline = (SE.solve (fig2_problem ())).SE.stats in
+  let traced =
+    with_trace (fun () -> (SE.solve (fig2_problem ())).SE.stats)
+  in
+  let metered =
+    with_metrics (fun () -> (SE.solve (fig2_problem ())).SE.stats)
+  in
+  checkb "traced solve counters identical" true
+    (Instr.to_alist traced = Instr.to_alist baseline);
+  checkb "metered solve counters identical" true
+    (Instr.to_alist metered = Instr.to_alist baseline);
+  checkb "tracing produced solver spans" true
+    (List.exists
+       (fun (e : Trace.event) -> e.ph = 'B' && e.name = "solve")
+       (Trace.events ()))
+
+let test_engine_trace () =
+  let problems = Array.init 4 (fun _ -> fig2_problem ()) in
+  let reference = Engine.solve_batch ~jobs:1 problems in
+  let report =
+    with_trace (fun () -> Engine.solve_batch ~jobs:2 problems)
+  in
+  Array.iteri
+    (fun i (s : SE.solution) ->
+      checkb (Printf.sprintf "solution %d matches sequential" i) true
+        (s.SE.levels = reference.Engine.solutions.(i).SE.levels))
+    report.Engine.solutions;
+  let events = check_chrome_json (roundtrip (Trace.to_json ())) in
+  let count name ph =
+    List.length
+      (List.filter
+         (fun e ->
+           Json.member "name" e = Some (Json.Str name)
+           && Json.member "ph" e = Some (Json.Str ph))
+         events)
+  in
+  checki "worker spans" 2 (count "worker" "B");
+  checki "solve_task spans" 4 (count "solve_task" "B");
+  let tids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (e : Trace.event) ->
+           if e.name = "worker" && e.ph = 'B' then Some e.tid else None)
+         (Trace.events ()))
+  in
+  checki "workers on distinct domains" 2 (List.length tids)
+
+(* --- Instr bridge ---------------------------------------------------- *)
+
+let sample_instr () =
+  let t = Instr.create () in
+  t.Instr.lub <- 1;
+  t.Instr.glb <- 2;
+  t.Instr.leq <- 3;
+  t.Instr.minlevel_calls <- 4;
+  t.Instr.try_calls <- 5;
+  t.Instr.try_iterations <- 6;
+  t.Instr.constraint_checks <- 7;
+  t
+
+let test_instr_pp_order () =
+  (* Regression: pp prints the documented declaration order, in particular
+     try_iters before checks. *)
+  checks "pp order" "lub=1 glb=2 leq=3 minlevel=4 try=5 try_iters=6 checks=7"
+    (Format.asprintf "%a" Instr.pp (sample_instr ()))
+
+let test_instr_json_roundtrip () =
+  let t = sample_instr () in
+  (match Instr.of_json (roundtrip (Instr.to_json t)) with
+  | Ok t' -> checkb "roundtrip" true (Instr.to_alist t' = Instr.to_alist t)
+  | Error m -> Alcotest.failf "of_json failed: %s" m);
+  (* Field order in the document must not matter. *)
+  (match
+     Instr.of_json
+       (Json.Obj
+          (List.rev_map
+             (fun (k, v) -> (k, Json.Num (float_of_int v)))
+             (Instr.to_alist t)))
+   with
+  | Ok t' -> checkb "reversed order" true (Instr.to_alist t' = Instr.to_alist t)
+  | Error m -> Alcotest.failf "reversed order rejected: %s" m);
+  let rejects j = match Instr.of_json j with Ok _ -> false | Error _ -> true in
+  checkb "rejects non-object" true (rejects (Json.Num 3.));
+  checkb "rejects missing field" true (rejects (Json.Obj [ ("lub", Json.Num 1.) ]));
+  checkb "rejects non-integer" true
+    (rejects
+       (Json.Obj
+          (List.map
+             (fun (k, _) -> (k, Json.Num 0.5))
+             (Instr.to_alist (Instr.create ())))))
+
+let test_instr_to_metrics () =
+  with_metrics @@ fun () ->
+  Instr.to_metrics (sample_instr ());
+  Instr.to_metrics (sample_instr ());
+  checki "instr/lub summed" 2 (Metrics.counter_value (Metrics.counter "instr/lub"));
+  checki "instr/constraint_checks summed" 14
+    (Metrics.counter_value (Metrics.counter "instr/constraint_checks"))
+
+let suite =
+  [
+    Alcotest.test_case "json render" `Quick test_json_render;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "histogram bucket_index" `Quick test_bucket_index;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "metrics concurrent" `Quick test_metrics_concurrent;
+    Alcotest.test_case "trace disabled" `Quick test_trace_disabled;
+    Alcotest.test_case "trace nesting" `Quick test_trace_nesting;
+    Alcotest.test_case "trace export" `Quick test_trace_export;
+    Alcotest.test_case "observed solve identity" `Quick
+      test_observed_solve_identity;
+    Alcotest.test_case "engine batch trace" `Quick test_engine_trace;
+    Alcotest.test_case "instr pp order" `Quick test_instr_pp_order;
+    Alcotest.test_case "instr json roundtrip" `Quick test_instr_json_roundtrip;
+    Alcotest.test_case "instr to_metrics" `Quick test_instr_to_metrics;
+  ]
