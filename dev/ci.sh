@@ -20,4 +20,8 @@ dune exec -- mlsclassify batch -l test/cli.t/fig1b.lat --jobs 2 \
 dune exec dev/validate_trace.exe -- "$obs_tmp/trace.json"
 dune exec dev/validate_trace.exe -- --json "$obs_tmp/metrics.json"
 
+# Differential self-check: a pinned-seed bounded run of the property
+# harness (solver vs oracle/baselines/round-trips across all backends).
+dune exec -- mlsclassify selfcheck --seed 42 --cases 60 --jobs 2
+
 echo "ci: OK"

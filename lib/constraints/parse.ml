@@ -1,7 +1,7 @@
 type ast = {
   decls : string list;
-  lowers : (string list * string) list;
-  uppers : (string * string) list;
+  lowers : (int * string list * string) list;
+  uppers : (int * string * string) list;
 }
 
 type error = { line : int; message : string }
@@ -67,9 +67,22 @@ let parse_lhs s =
       attrs
   | None -> [ check_ident s ]
 
+(* The [attrs] keyword only introduces a declaration list when it stands
+   alone (an empty declaration) or is followed by whitespace; identifiers
+   that merely start with "attrs" ([attrset >= x]) are ordinary constraint
+   lines. *)
+let attrs_rest line =
+  if line = "attrs" then Some ""
+  else if
+    String.length line > 5
+    && String.sub line 0 5 = "attrs"
+    && (line.[5] = ' ' || line.[5] = '\t')
+  then Some (String.sub line 5 (String.length line - 5))
+  else None
+
 let parse text =
   let decls = ref [] and lowers = ref [] and uppers = ref [] in
-  let do_line raw =
+  let do_line lineno raw =
     let line =
       match String.index_opt raw '#' with
       | Some i -> String.sub raw 0 i
@@ -77,11 +90,7 @@ let parse text =
     in
     let line = String.trim line in
     if line <> "" then
-      match
-        if String.length line > 5 && String.sub line 0 5 = "attrs" then
-          Some (String.sub line 5 (String.length line - 5))
-        else None
-      with
+      match attrs_rest line with
       | Some rest -> decls := !decls @ List.map check_ident (split_commas rest)
       | None -> (
           match split_on_op line with
@@ -89,12 +98,12 @@ let parse text =
           | Some ('>', lhs, rhs) ->
               let rhs = String.trim rhs in
               if rhs = "" then fail "empty right-hand side";
-              lowers := (parse_lhs lhs, rhs) :: !lowers
+              lowers := (lineno, parse_lhs lhs, rhs) :: !lowers
           | Some ('<', lhs, rhs) -> (
               let rhs = String.trim rhs in
               if rhs = "" then fail "empty right-hand side";
               match parse_lhs lhs with
-              | [ a ] -> uppers := (a, rhs) :: !uppers
+              | [ a ] -> uppers := (lineno, a, rhs) :: !uppers
               | _ -> fail "upper-bound constraints take a single attribute")
           | Some _ -> assert false)
   in
@@ -102,7 +111,7 @@ let parse text =
   let rec go lineno = function
     | [] -> Ok { decls = !decls; lowers = List.rev !lowers; uppers = List.rev !uppers }
     | l :: rest -> (
-        match do_line l with
+        match do_line lineno l with
         | () -> go (lineno + 1) rest
         | exception Err message -> Error { line = lineno; message })
   in
@@ -126,8 +135,8 @@ let resolve ~level_of_string ast =
     end
   in
   List.iter declare ast.decls;
-  List.iter (fun (lhs, _) -> List.iter declare lhs) ast.lowers;
-  List.iter (fun (a, _) -> declare a) ast.uppers;
+  List.iter (fun (_, lhs, _) -> List.iter declare lhs) ast.lowers;
+  List.iter (fun (_, a, _) -> declare a) ast.uppers;
   let resolve_rhs raw =
     if Hashtbl.mem known raw then Cst.Attr raw
     else
@@ -139,24 +148,24 @@ let resolve ~level_of_string ast =
   in
   let rec build acc = function
     | [] -> Ok (List.rev acc)
-    | (lhs, raw) :: rest -> (
+    | (line, lhs, raw) :: rest -> (
         let rhs = resolve_rhs raw in
         match Cst.make ~lhs ~rhs with
         | Ok c -> build (c :: acc) rest
-        | Error e -> Error { line = 0; message = Format.asprintf "%a" Cst.pp_error e })
+        | Error e -> Error { line; message = Format.asprintf "%a" Cst.pp_error e })
   in
   match build [] ast.lowers with
   | Error _ as e -> e
   | Ok csts -> (
       let rec ubs acc = function
         | [] -> Ok (List.rev acc)
-        | (a, raw) :: rest -> (
+        | (line, a, raw) :: rest -> (
             match level_of_string raw with
             | Some l -> ubs ((a, l) :: acc) rest
             | None ->
                 Error
                   {
-                    line = 0;
+                    line;
                     message =
                       Printf.sprintf
                         "upper bound for %S: %S is not a level of the lattice" a

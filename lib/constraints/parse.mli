@@ -18,9 +18,12 @@
 
 type ast = {
   decls : string list;  (** attributes declared via [attrs] lines *)
-  lowers : (string list * string) list;
-      (** [(lhs, raw_rhs)] per [>=] line, in file order *)
-  uppers : (string * string) list;  (** [(attr, raw_level)] per [<=] line *)
+  lowers : (int * string list * string) list;
+      (** [(line, lhs, raw_rhs)] per [>=] line, in file order; the source
+          line number is threaded through so {!resolve} errors point at the
+          offending line *)
+  uppers : (int * string * string) list;
+      (** [(line, attr, raw_level)] per [<=] line *)
 }
 
 type error = { line : int; message : string }

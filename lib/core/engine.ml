@@ -70,7 +70,17 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
           Trace.begin_span ~cat:"engine"
             ~args:[ ("worker", Trace.Int 0) ]
             "worker";
-        let sols = Array.init n (fun i -> solve1 ~worker:0 i) in
+        (* A raising solve must not escape with the worker span still open
+           (solve1 already closes its own solve_task span): the B/E pairs
+           stay matched on the exception path too. *)
+        let sols =
+          match Array.init n (fun i -> solve1 ~worker:0 i) with
+          | sols -> sols
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              if tracing then Trace.end_span ~cat:"engine" "worker";
+              Printexc.raise_with_backtrace e bt
+        in
         record_worker ~worker:0 ~solved:n ~wait_ns:0L;
         if tracing then
           Trace.end_span ~cat:"engine"

@@ -504,11 +504,25 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
       stats;
     }
 
+  (* A raising callback (residual, upgrade preference, on_event handler)
+     aborts [solve_internal] with its "solve" / "bigloop" / "scc" /
+     "try_lower" spans still open; close them on the way out so an exported
+     trace keeps its B/E nesting even when a solve dies. *)
+  let with_balanced_spans f =
+    let depth = Trace.open_depth () in
+    match f () with
+    | s -> s
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Trace.unwind_to depth;
+        Printexc.raise_with_backtrace e bt
+
   let solve ?on_event ?residual ?upgrade_preference ?check_aggregate
       ({ lat; _ } as problem) =
-    solve_internal ?on_event ?residual ?upgrade_preference ?check_aggregate
-      ~init:(fun _ -> L.top lat)
-      ~bounds_mode:false problem
+    with_balanced_spans (fun () ->
+        solve_internal ?on_event ?residual ?upgrade_preference ?check_aggregate
+          ~init:(fun _ -> L.top lat)
+          ~bounds_mode:false problem)
 
   let find problem solution attr =
     match Problem.attr_id problem.prob attr with
@@ -596,8 +610,9 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
     | Error _ as e -> e
     | Ok ub ->
         Ok
-          (solve_internal ?on_event ?residual ?upgrade_preference
-             ?check_aggregate
-             ~init:(fun a -> ub.(a))
-             ~bounds_mode:true problem)
+          (with_balanced_spans (fun () ->
+               solve_internal ?on_event ?residual ?upgrade_preference
+                 ?check_aggregate
+                 ~init:(fun a -> ub.(a))
+                 ~bounds_mode:true problem))
 end

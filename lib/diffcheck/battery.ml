@@ -1,0 +1,307 @@
+module Cst = Minup_constraints.Cst
+module Parse = Minup_constraints.Parse
+module Instr = Minup_core.Instr
+module Json = Minup_obs.Json
+
+type mutation = Overclassify | Underclassify
+
+type counters = {
+  mutable cases : int;
+  mutable compile : int;
+  mutable satisfies : int;
+  mutable minimal : int;
+  mutable oracle : int;
+  mutable backtrack : int;
+  mutable qian : int;
+  mutable batch : int;
+  mutable parse_rt : int;
+  mutable json_rt : int;
+  mutable bounded_ok : int;
+  mutable bounded_infeasible : int;
+}
+
+let zero () =
+  {
+    cases = 0;
+    compile = 0;
+    satisfies = 0;
+    minimal = 0;
+    oracle = 0;
+    backtrack = 0;
+    qian = 0;
+    batch = 0;
+    parse_rt = 0;
+    json_rt = 0;
+    bounded_ok = 0;
+    bounded_infeasible = 0;
+  }
+
+let add into c =
+  into.cases <- into.cases + c.cases;
+  into.compile <- into.compile + c.compile;
+  into.satisfies <- into.satisfies + c.satisfies;
+  into.minimal <- into.minimal + c.minimal;
+  into.oracle <- into.oracle + c.oracle;
+  into.backtrack <- into.backtrack + c.backtrack;
+  into.qian <- into.qian + c.qian;
+  into.batch <- into.batch + c.batch;
+  into.parse_rt <- into.parse_rt + c.parse_rt;
+  into.json_rt <- into.json_rt + c.json_rt;
+  into.bounded_ok <- into.bounded_ok + c.bounded_ok;
+  into.bounded_infeasible <- into.bounded_infeasible + c.bounded_infeasible
+
+let to_alist c =
+  [
+    ("compile", c.compile);
+    ("satisfies", c.satisfies);
+    ("minimal", c.minimal);
+    ("oracle", c.oracle);
+    ("backtrack", c.backtrack);
+    ("qian", c.qian);
+    ("batch", c.batch);
+    ("parse", c.parse_rt);
+    ("json", c.json_rt);
+    ("bounded_ok", c.bounded_ok);
+    ("bounded_infeasible", c.bounded_infeasible);
+  ]
+
+type failure = { property : string; detail : string }
+
+(* Caps keeping the exhaustive cross-checks polynomial in practice: the
+   oracle enumerates at most [oracle_cap] candidate assignments, the
+   backtracking baseline runs only when its choice space is below
+   [backtrack_space]. *)
+let oracle_cap = 20_000
+let backtrack_space = 5_000
+
+module Make (L : Minup_lattice.Lattice_intf.S) = struct
+  module S = Minup_core.Solver.Make (L)
+  module V = Minup_core.Verify.Make (L)
+  module E = Minup_core.Explain.Make (L)
+  module Engine = Minup_core.Engine.Make (L)
+  module Backtrack = Minup_baselines.Backtrack.Make (L)
+  module Qian = Minup_baselines.Qian.Make (L)
+
+  let mutate lat mutation levels =
+    let levels = Array.copy levels in
+    (match mutation with
+    | Overclassify ->
+        let top = L.top lat in
+        let exception Done in
+        (try
+           Array.iteri
+             (fun a l ->
+               if not (L.equal lat l top) then begin
+                 levels.(a) <- top;
+                 raise Done
+               end)
+             levels
+         with Done -> ())
+    | Underclassify ->
+        let bot = L.bottom lat in
+        let exception Done in
+        (try
+           Array.iteri
+             (fun a l ->
+               if not (L.equal lat l bot) then begin
+                 levels.(a) <- bot;
+                 raise Done
+               end)
+             levels
+         with Done -> ()));
+    levels
+
+  let strictly_below lat a b =
+    (* a ⊏ b pointwise: b dominates a and they differ somewhere. *)
+    V.dominates lat b a && not (V.equal_assignment lat a b)
+
+  let run ?mutation ~(counters : counters) ~lat ~attrs ~csts ~bounds () =
+    let fails = ref [] in
+    let fail property detail = fails := { property; detail } :: !fails in
+    counters.cases <- counters.cases + 1;
+    (match S.compile ~lattice:lat ~attrs csts with
+    | Error e ->
+        fail "compile"
+          (Format.asprintf "generated constraints rejected: %a"
+             Minup_constraints.Problem.pp_error e)
+    | Ok problem ->
+        counters.compile <- counters.compile + 1;
+        let sol = S.solve problem in
+        let levels =
+          match mutation with
+          | None -> sol.S.levels
+          | Some m -> mutate lat m sol.S.levels
+        in
+        counters.satisfies <- counters.satisfies + 1;
+        if not (S.satisfies problem levels) then
+          fail "satisfies"
+            (Printf.sprintf "solution violates a constraint (%d attrs, %d csts)"
+               (List.length attrs) (List.length csts))
+        else begin
+          (* Exact minimality, polynomial path — every case. *)
+          counters.minimal <- counters.minimal + 1;
+          let emin = E.is_locally_minimal problem levels in
+          if not emin then
+            fail "minimal" "Explain.is_locally_minimal rejects the solution";
+          (* Exhaustive oracle on small cases; must agree with Explain. *)
+          (match V.is_minimal_solution ~cap:oracle_cap problem levels with
+          | Error `Too_large -> ()
+          | Ok omin ->
+              counters.oracle <- counters.oracle + 1;
+              if omin <> emin then
+                fail "oracle"
+                  (Printf.sprintf
+                     "exhaustive enumeration says minimal=%b, Explain says %b"
+                     omin emin));
+          (* Backtracking baseline: two minimal solutions are incomparable,
+             so neither side may strictly undercut the other. *)
+          (match Backtrack.search_space problem with
+          | Some space when space <= backtrack_space -> (
+              counters.backtrack <- counters.backtrack + 1;
+              match Backtrack.solve ~max_space:backtrack_space problem with
+              | None -> fail "backtrack" "exhaustive choice search found nothing"
+              | Some bl ->
+                  if not (S.satisfies problem bl) then
+                    fail "backtrack" "backtracking candidate violates constraints"
+                  else begin
+                    if strictly_below lat bl levels then
+                      fail "backtrack"
+                        "backtracking found a strictly lower solution";
+                    if strictly_below lat levels bl then
+                      fail "backtrack"
+                        "solver solution strictly undercuts the backtracking \
+                         minimum"
+                  end)
+          | _ -> ());
+          (* Qian-style baseline: sound but over-classifying — it can never
+             end up strictly below a minimal solution. *)
+          counters.qian <- counters.qian + 1;
+          let q = Qian.solve problem in
+          if not (S.satisfies problem q) then
+            fail "qian" "Qian labeling violates constraints"
+          else if strictly_below lat q levels then
+            fail "qian" "Qian labeling strictly below the minimal solution"
+        end;
+        (* Batch engine parity: three copies at jobs=2 must reproduce the
+           sequential solve bit for bit, Instr counters included.  (Checked
+           against the unmutated solution: the engine wraps the same
+           solver.) *)
+        counters.batch <- counters.batch + 1;
+        let report = Engine.solve_batch ~jobs:2 (Array.make 3 problem) in
+        Array.iteri
+          (fun i (b : S.solution) ->
+            if not (V.equal_assignment lat b.S.levels sol.S.levels) then
+              fail "batch"
+                (Printf.sprintf "solve_batch copy %d diverges from sequential" i)
+            else if Instr.to_alist b.S.stats <> Instr.to_alist sol.S.stats then
+              fail "batch"
+                (Printf.sprintf "solve_batch copy %d: counter divergence" i))
+          report.Engine.solutions;
+        (* Parse round-trip: render the policy and read it back. *)
+        counters.parse_rt <- counters.parse_rt + 1;
+        let resolved : _ Parse.resolved =
+          { attrs; csts; upper_bounds = bounds }
+        in
+        let text =
+          Parse.render ~level_to_string:(L.level_to_string lat) resolved
+        in
+        (match
+           Parse.parse_resolve ~level_of_string:(L.level_of_string lat) text
+         with
+        | Error e ->
+            fail "parse"
+              (Format.asprintf "render output rejected: %a" Parse.pp_error e)
+        | Ok r ->
+            let cst_eq (a : _ Cst.t) (b : _ Cst.t) =
+              a.Cst.lhs = b.Cst.lhs
+              &&
+              match (a.Cst.rhs, b.Cst.rhs) with
+              | Cst.Attr x, Cst.Attr y -> x = y
+              | Cst.Level x, Cst.Level y -> L.equal lat x y
+              | _ -> false
+            in
+            let same =
+              r.Parse.attrs = attrs
+              && List.length r.Parse.csts = List.length csts
+              && List.for_all2 cst_eq r.Parse.csts csts
+              && List.length r.Parse.upper_bounds = List.length bounds
+              && List.for_all2
+                   (fun (a, l) (b, m) -> a = b && L.equal lat l m)
+                   r.Parse.upper_bounds bounds
+            in
+            if not same then
+              fail "parse" "render/parse_resolve round-trip changed the policy");
+        (* JSON round-trip of a solution document, compact and pretty. *)
+        counters.json_rt <- counters.json_rt + 1;
+        let doc =
+          Json.Obj
+            [
+              ( "assignment",
+                Json.Obj
+                  (List.map
+                     (fun (a, l) -> (a, Json.Str (L.level_to_string lat l)))
+                     sol.S.assignment) );
+              ("stats", Instr.to_json sol.S.stats);
+            ]
+        in
+        List.iter
+          (fun pretty ->
+            match Json.parse (Json.to_string ~pretty doc) with
+            | Error e ->
+                fail "json"
+                  (Printf.sprintf "to_string ~pretty:%b output rejected: %s"
+                     pretty e)
+            | Ok doc' ->
+                if doc' <> doc then
+                  fail "json"
+                    (Printf.sprintf
+                       "to_string ~pretty:%b/parse round-trip changed the \
+                        document"
+                       pretty))
+          [ false; true ];
+        (* Bounded mode (§6): a solution must sit within the bounds and
+           still be minimal; a reported inconsistency is confirmed by
+           enumeration when feasible. *)
+        if bounds <> [] then begin
+          match S.solve_with_bounds problem bounds with
+          | Ok bs ->
+              counters.bounded_ok <- counters.bounded_ok + 1;
+              if not (S.satisfies problem bs.S.levels) then
+                fail "bounded" "bounded solution violates constraints"
+              else begin
+                List.iter
+                  (fun (a, b) ->
+                    match S.find problem bs a with
+                    | Some l when L.leq lat l b -> ()
+                    | Some _ ->
+                        fail "bounded"
+                          (Printf.sprintf
+                             "bounded solution exceeds the bound on %S" a)
+                    | None ->
+                        fail "bounded"
+                          (Printf.sprintf "bound on unknown attribute %S" a))
+                  bounds;
+                if not (E.is_locally_minimal problem bs.S.levels) then
+                  fail "bounded" "bounded solution is not pointwise minimal"
+              end
+          | Error _ -> (
+              counters.bounded_infeasible <- counters.bounded_infeasible + 1;
+              match V.all_solutions ~cap:oracle_cap problem with
+              | Error `Too_large -> ()
+              | Ok sols ->
+                  let within ls =
+                    List.for_all
+                      (fun (a, b) ->
+                        match
+                          Minup_constraints.Problem.attr_id problem.S.prob a
+                        with
+                        | Some i -> L.leq lat ls.(i) b
+                        | None -> true)
+                      bounds
+                  in
+                  if List.exists within sols then
+                    fail "bounded"
+                      "reported inconsistent, but an in-bounds solution exists")
+        end);
+    List.rev !fails
+end

@@ -1,0 +1,73 @@
+(** The differential property battery.
+
+    One case = a lattice plus a constraint set (and optional upper
+    bounds).  {!Make.run} pushes the case through every implementation
+    that claims to agree with the solver and records each disagreement:
+
+    - the solver's output satisfies every constraint;
+    - it is pointwise minimal, exactly — by the polynomial
+      {!Minup_core.Explain} replay on every case, and cross-checked
+      against the exhaustive {!Minup_core.Verify} enumeration whenever
+      the candidate space fits under a cap;
+    - the backtracking baseline ({!Minup_baselines.Backtrack}) and the
+      solver never strictly undercut one another (minimal solutions need
+      not be unique, but two minimal solutions are incomparable);
+    - the Qian-style baseline ({!Minup_baselines.Qian}) satisfies the
+      constraints and never beats the solver;
+    - {!Minup_core.Engine.Make.solve_batch} is bit-identical (levels
+      {e and} [Instr] counters) to sequential solves;
+    - the {!Minup_constraints.Parse} render/parse round-trip preserves
+      the policy, and the {!Minup_obs.Json} print/parse round-trip
+      preserves a document built from the solution (compact and pretty);
+    - with bounds: a returned solution respects them and is still
+      minimal; a reported inconsistency is confirmed against the
+      exhaustive oracle on small cases.
+
+    A {!mutation} injects a deliberate bug into the solver's output so
+    the harness (and its shrinker) can be proven to catch one. *)
+
+type mutation =
+  | Overclassify  (** raise the first non-top attribute to ⊤ *)
+  | Underclassify  (** drop the first non-bottom attribute to ⊥ *)
+
+(** How many times each property was actually checked (oracles and
+    baselines only run when the case is small enough, bounds only when
+    present), accumulated across cases with {!add}. *)
+type counters = {
+  mutable cases : int;
+  mutable compile : int;
+  mutable satisfies : int;
+  mutable minimal : int;
+  mutable oracle : int;
+  mutable backtrack : int;
+  mutable qian : int;
+  mutable batch : int;
+  mutable parse_rt : int;
+  mutable json_rt : int;
+  mutable bounded_ok : int;
+  mutable bounded_infeasible : int;
+}
+
+val zero : unit -> counters
+
+(** [add into c] accumulates [c] into [into]. *)
+val add : counters -> counters -> unit
+
+(** [(label, count)] pairs in a fixed order, for summaries. *)
+val to_alist : counters -> (string * int) list
+
+type failure = { property : string; detail : string }
+
+module Make (L : Minup_lattice.Lattice_intf.S) : sig
+  (** Run the full battery on one case.  Returns the disagreements found
+      (empty = the case passed); bumps [counters] per executed check. *)
+  val run :
+    ?mutation:mutation ->
+    counters:counters ->
+    lat:L.t ->
+    attrs:string list ->
+    csts:L.level Minup_constraints.Cst.t list ->
+    bounds:(string * L.level) list ->
+    unit ->
+    failure list
+end

@@ -1,0 +1,84 @@
+module Cst = Minup_constraints.Cst
+module Explicit = Minup_lattice.Explicit
+
+type t = {
+  names : string list;
+  order : (string * string) list;
+  attrs : string list;
+  csts : string Cst.t list;
+  bounds : (string * string) list;
+}
+
+module Materialize (L : Minup_lattice.Lattice_intf.S) = struct
+  let instance lat ~attrs ~csts ~bounds =
+    let levels = List.of_seq (Seq.take 4096 (L.levels lat)) in
+    let named = List.mapi (fun i l -> (l, Printf.sprintf "v%d" i)) levels in
+    let name_of l =
+      match List.find_opt (fun (l', _) -> L.equal lat l l') named with
+      | Some (_, nm) -> nm
+      | None -> invalid_arg "Instance.Materialize: level outside the enumeration"
+    in
+    (* The full order relation, not just covers: Explicit.create computes
+       the transitive reduction itself, and emitting every pair keeps this
+       total even for lattices whose covers are awkward to enumerate. *)
+    let order =
+      List.concat_map
+        (fun (a, na) ->
+          List.filter_map
+            (fun (b, nb) ->
+              if (not (L.equal lat a b)) && L.leq lat a b then Some (na, nb)
+              else None)
+            named)
+        named
+    in
+    {
+      names = List.map snd named;
+      order;
+      attrs;
+      csts = List.map (Cst.map_level name_of) csts;
+      bounds = List.map (fun (a, l) -> (a, name_of l)) bounds;
+    }
+end
+
+let lattice t =
+  match Explicit.create ~names:t.names ~order:t.order with
+  | Ok lat -> Ok lat
+  | Error e -> Error (Format.asprintf "%a" Explicit.pp_error e)
+
+exception Missing
+
+let resolve t lat =
+  let level nm =
+    match Explicit.of_name lat nm with Some l -> l | None -> raise Missing
+  in
+  match
+    ( List.map (Cst.map_level level) t.csts,
+      List.map (fun (a, nm) -> (a, level nm)) t.bounds )
+  with
+  | csts, bounds -> Some (csts, bounds)
+  | exception Missing -> None
+
+let with_header header body =
+  String.concat "" (List.map (fun l -> "# " ^ l ^ "\n") header) ^ body
+
+let lat_file ?(header = []) t =
+  let body =
+    match lattice t with
+    | Ok lat -> Minup_lattice.Lattice_file.to_string lat
+    | Error _ ->
+        (* Not a valid lattice (can only happen on hand-edited input):
+           render the raw declaration so the file still documents it. *)
+        ("levels " ^ String.concat ", " t.names ^ "\n")
+        ^ String.concat ""
+            (List.map (fun (a, b) -> a ^ " < " ^ b ^ "\n") t.order)
+  in
+  with_header header body
+
+let cst_file ?(header = []) t =
+  with_header header
+    (Minup_constraints.Parse.render ~level_to_string:Fun.id
+       { attrs = t.attrs; csts = t.csts; upper_bounds = t.bounds })
+
+let size t =
+  List.length t.csts + List.length t.bounds + List.length t.attrs
+  + List.length t.names

@@ -1,0 +1,62 @@
+(** Concrete, self-contained test instances.
+
+    The self-check batteries run over arbitrary lattice backends
+    (explicit, compartmented, powerset), but a failing case must outlive
+    the process: it has to be shrunk, written to disk and replayed later.
+    An {!t} is that durable form — a fully materialized lattice (level
+    {e names} plus order pairs) together with the policy, everything
+    referenced by name only, so the whole case round-trips through the
+    [.lat]/[.cst] text formats.
+
+    Backend level syntax is not preserved: compartmented renderings such
+    as [TS:{Army,Nuclear}] contain commas and braces that the lattice
+    file format would mis-split, so {!Materialize} renames every level to
+    a neutral [v0, v1, …] in enumeration order.  The order structure — the
+    only thing the algorithms see — is carried over exactly. *)
+
+type t = {
+  names : string list;  (** level names, in enumeration order *)
+  order : (string * string) list;  (** [lo ⊑ hi] pairs (not only covers) *)
+  attrs : string list;
+  csts : string Minup_constraints.Cst.t list;
+      (** right-hand-side levels by {e name} *)
+  bounds : (string * string) list;  (** upper bounds, level by name *)
+}
+
+(** [Materialize (L)] converts a backend case into its durable form. *)
+module Materialize (L : Minup_lattice.Lattice_intf.S) : sig
+  (** Levels are enumerated via [L.levels] (capped at 4096 — self-check
+      lattices are small by construction) and renamed [v0, v1, …]. *)
+  val instance :
+    L.t ->
+    attrs:string list ->
+    csts:L.level Minup_constraints.Cst.t list ->
+    bounds:(string * L.level) list ->
+    t
+end
+
+(** Rebuild the lattice.  [Error] after an over-aggressive lattice shrink
+    (the shrinker treats that as "candidate rejected"). *)
+val lattice : t -> (Minup_lattice.Explicit.t, string) result
+
+(** Resolve the by-name constraints and bounds against a rebuilt lattice;
+    [None] if a referenced level name is gone. *)
+val resolve :
+  t ->
+  Minup_lattice.Explicit.t ->
+  (Minup_lattice.Explicit.level Minup_constraints.Cst.t list
+  * (string * Minup_lattice.Explicit.level) list)
+  option
+
+(** The instance's lattice in {!Minup_lattice.Lattice_file} format
+    (canonical cover pairs when the lattice is valid), with [# ]-comment
+    [header] lines prepended. *)
+val lat_file : ?header:string list -> t -> string
+
+(** The instance's policy in {!Minup_constraints.Parse} format ([attrs]
+    declaration, constraints, upper bounds), with [header] prepended. *)
+val cst_file : ?header:string list -> t -> string
+
+(** [size t] = constraints + bounds + attributes + levels — the measure
+    the shrinker drives down. *)
+val size : t -> int

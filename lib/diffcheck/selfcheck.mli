@@ -1,0 +1,63 @@
+(** The seeded differential self-check harness.
+
+    [run ~seed ~cases ~jobs ()] generates [cases] random (lattice,
+    constraint-set) instances — rotating through the explicit,
+    compartmented and powerset backends, the acyclic / single-SCC / mixed
+    constraint shapes, and plain vs. upper-bounded mode — and pushes each
+    through the full {!Battery}.  Case [i] is derived from [(seed, i)]
+    alone, so results are identical whatever [jobs] is, and a failure
+    always names the case that reproduces it.
+
+    Every failing case is materialized ({!Instance}), delta-shrunk
+    ({!Shrink}) against "the battery still fails on the mirrored
+    instance", and — given [repro_dir] — written out as a replayable
+    [caseN.lat]/[caseN.cst] pair.  A failure that does {e not} reproduce
+    on the explicit-lattice mirror (a backend-specific bug) is kept
+    unshrunk and flagged in the report. *)
+
+type failure_report = {
+  case : int;
+  backend : string;
+  shape : string;
+  property : string;
+  detail : string;
+  repro : Instance.t;  (** shrunk when the mirror reproduces the failure *)
+  mirrored : bool;  (** the failure reproduces on the explicit mirror *)
+  files : (string * string) option;  (** written [.lat]/[.cst] paths *)
+}
+
+type summary = {
+  seed : int;
+  cases : int;
+  backends : (string * int) list;  (** cases per backend *)
+  shapes : (string * int) list;  (** cases per constraint shape *)
+  bounded : int;  (** cases run with upper bounds *)
+  checks : (string * int) list;  (** executions per property *)
+  total_failures : int;
+  failures : failure_report list;
+      (** at most one per failing case, capped at {!max_reports} *)
+}
+
+(** Failing cases reported (and shrunk) in full; the rest only counted. *)
+val max_reports : int
+
+val run :
+  ?mutation:Battery.mutation ->
+  ?repro_dir:string ->
+  seed:int ->
+  cases:int ->
+  jobs:int ->
+  unit ->
+  summary
+
+(** Deterministic, jobs-invariant rendering (the CLI output). *)
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Re-run the battery on a written reproducer: [lat]/[cst] are the file
+    {e contents}.  [Error] when they fail to parse. *)
+val replay :
+  ?mutation:Battery.mutation ->
+  lat:string ->
+  cst:string ->
+  unit ->
+  (Battery.failure list, string) result

@@ -1,0 +1,21 @@
+(** Greedy delta-shrinking of a failing {!Instance.t}.
+
+    Classic delta-debugging, specialized to the instance structure.  Four
+    move families, each tried element by element and kept whenever the
+    candidate still satisfies [predicate] (i.e. still fails the battery):
+
+    + drop a constraint;
+    + drop an upper bound;
+    + drop an attribute no remaining constraint or bound mentions;
+    + drop a lattice level no constraint or bound names (its order pairs
+      go with it) — candidates that stop being valid lattices are
+      rejected by the predicate via {!Instance.lattice}.
+
+    Passes repeat until a full round removes nothing, so the result is
+    1-minimal with respect to these moves: removing any single remaining
+    element makes the failure disappear. *)
+
+(** [shrink ~predicate inst] — [predicate inst] must hold on entry and is
+    maintained as an invariant; the result is the smallest instance
+    reached. *)
+val shrink : predicate:(Instance.t -> bool) -> Instance.t -> Instance.t

@@ -157,21 +157,25 @@ let parse s =
         | 'r' -> Buffer.add_char buf '\r'
         | 't' -> Buffer.add_char buf '\t'
         | 'u' ->
+            (* Surrogate halves are not code points: a high half must be
+               followed by a low half (together one astral code point), and
+               anything else would make [add_utf8] emit invalid UTF-8. *)
             let cp = hex4 () in
-            let cp =
+            if cp >= 0xD800 && cp <= 0xDBFF then begin
               if
-                cp >= 0xD800 && cp <= 0xDBFF
-                && !pos + 1 < n
-                && s.[!pos] = '\\'
-                && s.[!pos + 1] = 'u'
+                !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
               then begin
                 pos := !pos + 2;
                 let lo = hex4 () in
-                0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                if lo < 0xDC00 || lo > 0xDFFF then
+                  fail "high surrogate not followed by a low surrogate";
+                add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
               end
-              else cp
-            in
-            add_utf8 buf cp
+              else fail "unpaired high surrogate"
+            end
+            else if cp >= 0xDC00 && cp <= 0xDFFF then
+              fail "unpaired low surrogate"
+            else add_utf8 buf cp
         | _ -> fail "bad escape");
         go ()
       end
@@ -182,24 +186,35 @@ let parse s =
     in
     go ()
   in
+  (* The full JSON number grammar, enforced by the scanner itself:
+     [float_of_string_opt] is far laxer (it accepts "1.", "-.5", "01",
+     hex, underscores), so validation cannot be delegated to it. *)
   let parse_number () =
     let start = !pos in
-    if peek () = Some '-' then incr pos;
-    let digits () =
-      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+    let digit c = c >= '0' && c <= '9' in
+    let digits1 what =
+      let d0 = !pos in
+      while !pos < n && digit s.[!pos] do
         incr pos
-      done
+      done;
+      if !pos = d0 then fail ("expected digit " ^ what)
     in
-    digits ();
+    if peek () = Some '-' then incr pos;
+    (match peek () with
+    | Some '0' ->
+        incr pos;
+        if !pos < n && digit s.[!pos] then fail "leading zero in number"
+    | Some c when digit c -> digits1 "in number"
+    | _ -> fail "expected digit in number");
     if peek () = Some '.' then begin
       incr pos;
-      digits ()
+      digits1 "after '.'"
     end;
     (match peek () with
     | Some ('e' | 'E') ->
         incr pos;
         (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
-        digits ()
+        digits1 "in exponent"
     | _ -> ());
     match float_of_string_opt (String.sub s start (!pos - start)) with
     | Some f -> f

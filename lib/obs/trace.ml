@@ -19,6 +19,10 @@ type buf = {
   gen : int;
   mutable events : event list;  (* newest first *)
   mutable count : int;
+  mutable open_spans : (string * string) list;
+      (* (name, cat) of every span begun but not yet ended on this domain,
+         innermost first — consulted by [unwind_to] to close spans
+         abandoned when an exception unwinds past their [end_span] site. *)
 }
 
 let enabled_flag = Atomic.make false
@@ -37,7 +41,15 @@ let buffer () =
   match !slot with
   | Some b when b.gen = gen -> b
   | _ ->
-      let b = { tid = (Domain.self () :> int); gen; events = []; count = 0 } in
+      let b =
+        {
+          tid = (Domain.self () :> int);
+          gen;
+          events = [];
+          count = 0;
+          open_spans = [];
+        }
+      in
       Mutex.lock registry_lock;
       registry := b :: !registry;
       Mutex.unlock registry_lock;
@@ -49,7 +61,12 @@ let emit ph ?ts_ns ?(args = []) ?(cat = "minup") name =
     let b = buffer () in
     let ts_ns = match ts_ns with Some t -> t | None -> Clock.now_ns () in
     b.events <- { ph; name; cat; ts_ns; tid = b.tid; args } :: b.events;
-    b.count <- b.count + 1
+    b.count <- b.count + 1;
+    match ph with
+    | 'B' -> b.open_spans <- (name, cat) :: b.open_spans
+    | 'E' -> (
+        match b.open_spans with [] -> () | _ :: rest -> b.open_spans <- rest)
+    | _ -> ()
   end
 
 let begin_span ?ts_ns ?args ?cat name = emit 'B' ?ts_ns ?args ?cat name
@@ -59,6 +76,19 @@ let instant ?ts_ns ?args ?cat name = emit 'i' ?ts_ns ?args ?cat name
 let span_at ~start_ns ~end_ns ?args ?cat name =
   emit 'B' ~ts_ns:start_ns ?args ?cat name;
   emit 'E' ~ts_ns:end_ns ?cat name
+
+let open_depth () =
+  if Atomic.get enabled_flag then List.length (buffer ()).open_spans else 0
+
+let unwind_to depth =
+  if Atomic.get enabled_flag then begin
+    let b = buffer () in
+    while List.length b.open_spans > depth do
+      match b.open_spans with
+      | (name, cat) :: _ -> end_span ~cat name
+      | [] -> assert false
+    done
+  end
 
 let with_span ?args ?cat name f =
   if not (Atomic.get enabled_flag) then f ()

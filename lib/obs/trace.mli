@@ -69,6 +69,16 @@ val span_at :
   string ->
   unit
 
+(** Number of spans currently open on the calling domain's track (0 when
+    disabled).  Record it before running code that opens spans, and pass it
+    to {!unwind_to} on the exception path. *)
+val open_depth : unit -> int
+
+(** [unwind_to d] ends the calling domain's open spans, innermost first,
+    until only [d] remain — the exception-path counterpart of the matched
+    {!end_span} calls that were skipped.  No-op when disabled. *)
+val unwind_to : int -> unit
+
 (** [with_span name f] wraps [f ()] in a span (exception-safe).  When
     disabled this is exactly [f ()]. *)
 val with_span :

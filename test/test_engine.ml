@@ -101,6 +101,50 @@ let edge_cases () =
 
 exception Boom
 
+module Trace = Minup_obs.Trace
+
+(* The span-nesting contract dev/validate_trace.exe enforces: every E pops
+   a same-name B on its tid, and every tid's stack is empty at the end. *)
+let check_balanced_spans events =
+  let stacks = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.ph with
+      | 'B' ->
+          Hashtbl.replace stacks e.tid
+            (e.name :: Option.value (Hashtbl.find_opt stacks e.tid) ~default:[])
+      | 'E' -> (
+          match Hashtbl.find_opt stacks e.tid with
+          | Some (top :: rest) when top = e.name ->
+              Hashtbl.replace stacks e.tid rest
+          | _ -> Alcotest.failf "unmatched E %S on tid %d" e.name e.tid)
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun tid -> function
+      | [] -> ()
+      | names ->
+          Alcotest.failf "tid %d ends with unclosed span(s): %s" tid
+            (String.concat ", " names))
+    stacks
+
+(* Regression: a raising solve on the jobs=1 inline path must close the
+   open "worker" span on the way out, or the exported trace fails the B/E
+   nesting validation. *)
+let traced_exn_balanced () =
+  let rng = Minup_workload.Prng.create 31 in
+  let problems = Array.init 3 (fun i -> random_problem rng i) in
+  let residual _ ~target:_ ~others:_ = raise Boom in
+  Trace.start ();
+  Fun.protect ~finally:Trace.stop (fun () ->
+      Alcotest.check_raises "inline-path exception resurfaces" Boom (fun () ->
+          ignore (Engine.solve_batch ~residual ~jobs:1 problems)));
+  check_balanced_spans (Trace.events ());
+  Alcotest.(check bool) "a worker span was traced" true
+    (List.exists
+       (fun (e : Trace.event) -> e.ph = 'B' && e.name = "worker")
+       (Trace.events ()))
+
 (* A solve raising inside a worker domain must resurface in the caller
    (after the workers drain), not vanish or deadlock. *)
 let exn_propagates () =
@@ -138,5 +182,6 @@ let suite =
     case "jobs=4 parity on 60 random workloads" parity_jobs4;
     case "edge cases: empty, clamp, inline, bad jobs" edge_cases;
     case "worker exception propagates" exn_propagates;
+    case "traced jobs=1 exception keeps spans balanced" traced_exn_balanced;
     Helpers.qcheck options_forwarded;
   ]

@@ -73,6 +73,59 @@ let test_json_errors () =
   bad "1 2";
   bad "{\"a\":1} trailing"
 
+(* Regression: surrogate halves are not code points — a lone high half, a
+   lone low half, or a high half followed by a non-low escape must be
+   rejected, never smuggled through as invalid UTF-8. *)
+let test_json_surrogates () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "parse accepted %S" s
+    | Error _ -> ()
+  in
+  bad {|"\ud800"|};
+  bad {|"\udc00"|};
+  bad {|"\ud800A"|};
+  bad {|"\ud800\u0041"|};
+  (match Json.parse {|"\ud83d\ude00"|} with
+  | Ok (Json.Str s) -> checks "astral pair decodes" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error m -> Alcotest.failf "valid surrogate pair rejected: %s" m);
+  (* Every string the renderer emits must reparse to valid UTF-8-bearing
+     JSON, so a parse of our own render never hits the rejected forms. *)
+  match Json.parse (Json.to_string (Json.Str "plain \xc3\xa9")) with
+  | Ok (Json.Str s) -> checks "renderer roundtrip" "plain \xc3\xa9" s
+  | _ -> Alcotest.fail "renderer output rejected"
+
+(* Regression: the scanner enforces the JSON number grammar itself;
+   [float_of_string_opt] accepts far more ("1.", "-.5", "01", "0x10"). *)
+let test_json_number_grammar () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "parse accepted %S" s
+    | Error _ -> ()
+  in
+  let ok s v =
+    match Json.parse s with
+    | Ok (Json.Num f) ->
+        checkb (Printf.sprintf "%S parses to %g" s v) true (f = v)
+    | _ -> Alcotest.failf "parse rejected valid number %S" s
+  in
+  bad "01";
+  bad "-01";
+  bad "1.";
+  bad "-.5";
+  bad ".5";
+  bad "1.e5";
+  bad "1e";
+  bad "1e+";
+  bad "-";
+  bad "0x10";
+  ok "0" 0.;
+  ok "-0" (-0.);
+  ok "0.5" 0.5;
+  ok "-12.25e-2" (-0.1225);
+  ok "1E+3" 1000.
+
 (* --- Metrics -------------------------------------------------------- *)
 
 let with_metrics f =
@@ -357,6 +410,8 @@ let suite =
     Alcotest.test_case "json render" `Quick test_json_render;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "json surrogate escapes" `Quick test_json_surrogates;
+    Alcotest.test_case "json number grammar" `Quick test_json_number_grammar;
     Alcotest.test_case "histogram bucket_index" `Quick test_bucket_index;
     Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;

@@ -23,15 +23,19 @@ let parse_ok () =
   | Ok ast ->
       Alcotest.(check (list string)) "decls" [ "name"; "salary" ] ast.Parse.decls;
       Alcotest.(check int) "3 lowers" 3 (List.length ast.Parse.lowers);
-      Alcotest.(check (list (pair string string)))
+      Alcotest.(check (list (triple int string string)))
         "uppers"
-        [ ("name", "Secret") ]
+        [ (8, "name", "Secret") ]
         ast.Parse.uppers;
-      let lhss = List.map fst ast.Parse.lowers in
+      let lhss = List.map (fun (_, lhs, _) -> lhs) ast.Parse.lowers in
       Alcotest.(check (list (list string)))
         "lhss"
         [ [ "salary" ]; [ "name"; "salary" ]; [ "rank"; "department" ] ]
-        lhss
+        lhss;
+      (* Source lines survive parsing (the sample starts with a blank line). *)
+      Alcotest.(check (list int))
+        "lower lines" [ 5; 6; 7 ]
+        (List.map (fun (l, _, _) -> l) ast.Parse.lowers)
 
 let resolve_ok () =
   match Parse.parse_resolve ~level_of_string:(Total.level_of_string ladder) sample with
@@ -87,7 +91,9 @@ let errors () =
   | Ok _ -> Alcotest.fail "accepted multi-attr upper bound");
   (match Parse.parse "{a,, b} >= c\n" with
   (* empty entries are skipped; this parses *)
-  | Ok ast -> Alcotest.(check int) "lhs size" 2 (List.length (fst (List.hd ast.Parse.lowers)))
+  | Ok ast ->
+      let _, lhs, _ = List.hd ast.Parse.lowers in
+      Alcotest.(check int) "lhs size" 2 (List.length lhs)
   | Error _ -> Alcotest.fail "comma tolerance");
   match
     Parse.parse_resolve ~level_of_string:(Total.level_of_string ladder)
@@ -95,6 +101,47 @@ let errors () =
   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted unknown upper bound level"
+
+(* Regression: "attrs" is a keyword only when it stands alone or is
+   followed by whitespace.  A bare "attrs" line is an empty declaration;
+   an identifier that merely starts with "attrs" is an ordinary
+   constraint line, not a mis-lexed declaration list. *)
+let attrs_keyword () =
+  (match Parse.parse "attrs\n" with
+  | Ok ast -> Alcotest.(check (list string)) "bare attrs" [] ast.Parse.decls
+  | Error e -> Alcotest.failf "bare attrs rejected: %a" Parse.pp_error e);
+  (match Parse.parse "attrs\ta, b\n" with
+  | Ok ast ->
+      Alcotest.(check (list string)) "tab after attrs" [ "a"; "b" ] ast.Parse.decls
+  | Error e -> Alcotest.failf "tab-separated attrs rejected: %a" Parse.pp_error e);
+  (match Parse.parse "attrset >= x\n" with
+  | Ok ast -> (
+      Alcotest.(check (list string)) "no decls" [] ast.Parse.decls;
+      match ast.Parse.lowers with
+      | [ (1, [ "attrset" ], "x") ] -> ()
+      | _ -> Alcotest.fail "attrset >= x should be one constraint")
+  | Error e ->
+      Alcotest.failf "attrset >= x mis-lexed as declaration: %a" Parse.pp_error e)
+
+(* Regression: resolve-stage errors carry the source line of the offending
+   constraint, not a fabricated line 0. *)
+let resolve_line_numbers () =
+  (match
+     Parse.parse_resolve ~level_of_string:(Total.level_of_string ladder)
+       "a >= Secret\nb >= Secret\nc <= NotALevel\n"
+   with
+  | Error { line = 3; _ } -> ()
+  | Error { line; _ } ->
+      Alcotest.failf "upper-bound error reported at line %d, want 3" line
+  | Ok _ -> Alcotest.fail "accepted unknown upper-bound level");
+  match
+    Parse.parse_resolve ~level_of_string:(Total.level_of_string ladder)
+      "a >= Secret\n{x, x} >= Secret\n"
+  with
+  | Error { line = 2; _ } -> ()
+  | Error { line; _ } ->
+      Alcotest.failf "duplicate-lhs error reported at line %d, want 2" line
+  | Ok _ -> Alcotest.fail "accepted duplicate lhs"
 
 let comments_and_blanks () =
   match Parse.parse "\n  \n# only comments\n" with
@@ -150,6 +197,8 @@ let suite =
     case "attribute shadows level" attr_shadows_level;
     case "compartmented level rhs" compartment_rhs;
     case "errors" errors;
+    case "attrs keyword boundary" attrs_keyword;
+    case "resolve errors carry line numbers" resolve_line_numbers;
     case "comments and blanks" comments_and_blanks;
     Helpers.qcheck render_roundtrip;
   ]
