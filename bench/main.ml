@@ -480,7 +480,9 @@ let throughput () =
               ST.compile_exn ~lattice:ladder16 ~attrs csts)
         in
         (* The jobs=1 run is the reference every parallel run must equal. *)
-        let reference = Engine.solve_batch ~jobs:1 problems in
+        let reference =
+          Engine.ok_exn (Engine.solve_batch ~jobs:1 problems)
+        in
         (* Phase breakdown: one metered run at the widest worker count,
            outside the timed loop so the timing rows stay unobserved. *)
         let module Metrics = Minup_obs.Metrics in
@@ -494,24 +496,24 @@ let throughput () =
         Metrics.disable ();
         List.map
           (fun jobs ->
-            let best = ref infinity and report = ref reference in
+            let best = ref infinity and report = ref None in
             for _ = 1 to 3 do
               let t0 = Unix.gettimeofday () in
               let r = Engine.solve_batch ~jobs problems in
               let dt = Unix.gettimeofday () -. t0 in
               if dt < !best then best := dt;
-              report := r
+              report := Some r
             done;
-            let r = !report in
+            let r = Option.get !report in
             Array.iteri
               (fun i (s : ST.solution) ->
-                if s.ST.levels <> reference.Engine.solutions.(i).ST.levels then
+                if s.ST.levels <> reference.(i).ST.levels then
                   failwith
                     (Printf.sprintf
                        "throughput: jobs=%d diverged from the sequential \
                         solve on %s problem %d"
                        jobs name i))
-              r.Engine.solutions;
+              (Engine.ok_exn r);
             let wall_ms = !best *. 1e3 in
             let sps = float_of_int n_problems /. !best in
             let lub = r.Engine.stats.Instr.lub
@@ -587,23 +589,163 @@ let throughput_smoke () =
   in
   List.iter
     (fun (name, problems) ->
-      let seq = Engine.solve_batch ~jobs:1 problems in
-      let par = Engine.solve_batch ~jobs:2 problems in
+      let seq = Engine.ok_exn (Engine.solve_batch ~jobs:1 problems) in
+      let par = Engine.ok_exn (Engine.solve_batch ~jobs:2 problems) in
       Array.iteri
         (fun i (s : ST.solution) ->
-          if s.ST.levels <> seq.Engine.solutions.(i).ST.levels then
+          if s.ST.levels <> seq.(i).ST.levels then
             failwith
               (Printf.sprintf
                  "throughput-smoke: jobs=2 diverged from sequential on %s \
                   problem %d"
                  name i))
-        par.Engine.solutions;
+        par;
       Printf.printf "%-8s %2d problems: jobs=2 output = sequential\n" name
         (Array.length problems))
     [
       ("acyclic", compile acyclic_workload 2_000 12 300);
       ("cyclic", compile cyclic_workload 3_000 12 60);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* SUPERVISION — the cost of per-task budgets + retry bookkeeping on    *)
+(* the PR1 throughput workloads when no fault fires (PR 4).             *)
+
+let supervision_json_path = "BENCH_PR4.json"
+
+let supervision () =
+  section "SUPERVISION: fault-supervision overhead (writes BENCH_PR4.json)";
+  let module Engine = Minup_core.Engine.Make (Total) in
+  (* Generous budgets that never trip: the run measures the bookkeeping
+     (deadline polls + step counting in the solver hot path, retry
+     machinery in the engine), not fault handling. *)
+  let policy =
+    {
+      Minup_core.Engine.default_policy with
+      Minup_core.Engine.deadline_ms = Some 3_600_000;
+      max_steps = Some max_int;
+      retries = 2;
+    }
+  in
+  let workloads =
+    [
+      ("acyclic", 2_000, 24, fun seed -> acyclic_workload seed 2_000);
+      ("cyclic", 600, 24, fun seed -> cyclic_workload seed 600);
+    ]
+  in
+  let jobs_levels = [ 1; 4 ] in
+  let results = ref [] in
+  let phase_metrics = ref [] in
+  let rows =
+    List.concat_map
+      (fun (name, n_attrs, n_problems, gen) ->
+        let problems =
+          Array.init n_problems (fun i ->
+              let attrs, csts = gen (4_000 + i) in
+              ST.compile_exn ~lattice:ladder16 ~attrs csts)
+        in
+        (* Phase breakdown for the supervised run, outside the timed
+           loop: the engine registers its fault counters up front, so
+           the JSON must show engine/retries = 0 etc., proving no fault
+           fired during the measurement. *)
+        let module Metrics = Minup_obs.Metrics in
+        Metrics.enable ();
+        Metrics.reset ();
+        let metered = Engine.solve_batch ~policy ~jobs:2 problems in
+        Instr.to_metrics metered.Engine.stats;
+        phase_metrics := (name, Metrics.to_json ()) :: !phase_metrics;
+        Metrics.disable ();
+        if metered.Engine.failed > 0 then
+          failwith "supervision: a generous budget tripped";
+        List.map
+          (fun jobs ->
+            (* Interleave the two variants so drift hits both alike. *)
+            let best_base = ref infinity and best_sup = ref infinity in
+            let supervised = ref None in
+            for _ = 1 to 5 do
+              let t0 = Unix.gettimeofday () in
+              let base = Engine.solve_batch ~jobs problems in
+              let t1 = Unix.gettimeofday () in
+              let sup = Engine.solve_batch ~policy ~jobs problems in
+              let t2 = Unix.gettimeofday () in
+              best_base := min !best_base (t1 -. t0);
+              best_sup := min !best_sup (t2 -. t1);
+              supervised := Some (base, sup)
+            done;
+            let base, sup = Option.get !supervised in
+            let base_sols = Engine.ok_exn base
+            and sup_sols = Engine.ok_exn sup in
+            Array.iteri
+              (fun i (s : ST.solution) ->
+                if s.ST.levels <> sup_sols.(i).ST.levels then
+                  failwith
+                    (Printf.sprintf
+                       "supervision: budgeted solve diverged on %s problem %d"
+                       name i))
+              base_sols;
+            let overhead_pct = 100. *. ((!best_sup /. !best_base) -. 1.) in
+            results := (name, n_attrs, jobs, !best_base, !best_sup, overhead_pct) :: !results;
+            [
+              name;
+              string_of_int n_attrs;
+              string_of_int jobs;
+              Printf.sprintf "%.1f" (!best_base *. 1e3);
+              Printf.sprintf "%.1f" (!best_sup *. 1e3);
+              Printf.sprintf "%+.2f%%" overhead_pct;
+            ])
+          jobs_levels)
+      workloads
+  in
+  table
+    ~header:
+      [ "workload"; "attrs"; "jobs"; "base ms"; "supervised ms"; "overhead" ]
+    rows;
+  let results = List.rev !results in
+  let worst =
+    List.fold_left (fun acc (_, _, _, _, _, o) -> max acc o) neg_infinity
+      results
+  in
+  let json =
+    let open Minup_obs.Json in
+    let num_i i = Num (float_of_int i) in
+    Obj
+      ([ ("benchmark", Str "supervision") ]
+      @ host_meta ()
+      @ [
+          ( "policy",
+            Obj
+              [
+                ("deadline_ms", num_i 3_600_000);
+                ("max_steps", Str "max_int");
+                ("retries", num_i policy.Minup_core.Engine.retries);
+              ] );
+          ( "results",
+            Arr
+              (List.map
+                 (fun (name, n_attrs, jobs, base, sup, overhead_pct) ->
+                   Obj
+                     [
+                       ("workload", Str name);
+                       ("n_attrs", num_i n_attrs);
+                       ("jobs", num_i jobs);
+                       ("baseline_ms", Num (base *. 1e3));
+                       ("supervised_ms", Num (sup *. 1e3));
+                       ("overhead_pct", Num overhead_pct);
+                     ])
+                 results) );
+          ("overhead_pct_max", Num worst);
+          ( "phase_metrics",
+            Obj (List.rev_map (fun (name, m) -> (name, m)) !phase_metrics) );
+        ])
+  in
+  let oc = open_out supervision_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Minup_obs.Json.to_string ~pretty:true json);
+      output_char oc '\n');
+  Printf.printf "wrote %s  (worst-case supervision overhead %+.2f%%)\n"
+    supervision_json_path worst
 
 (* ------------------------------------------------------------------ *)
 
@@ -621,6 +763,7 @@ let experiments =
     ("ext-verify", ext_verify);
     ("throughput", throughput);
     ("throughput-smoke", throughput_smoke);
+    ("supervision", supervision);
   ]
 
 let () =

@@ -67,7 +67,14 @@ type obs = {
    aggregate counters) with tracing/metrics enabled as requested, then
    writes the configured sinks.  The counters are absorbed into the
    registry so every --metrics/--metrics-json report carries the instr/*
-   counters next to the phase histograms. *)
+   counters next to the phase histograms.
+
+   The sinks are flushed on the exception path too: a raising solve or a
+   SIGINT ([Sys.Break], see [catch_break] in main) first unwinds the open
+   trace spans (so the written trace keeps its B/E nesting) and then
+   writes whatever was recorded up to the interruption — a trace of a run
+   that died used to vanish entirely, which is precisely when it is most
+   wanted.  An interrupt exits 130 after flushing. *)
 let with_obs o f =
   (* A bad sink path is a user error, not an internal one. *)
   let write_or_die write path =
@@ -83,34 +90,47 @@ let with_obs o f =
     Metrics.reset ()
   end;
   let t0 = Obs_clock.now_ns () in
-  let result, stats = f () in
-  (match o.trace_file with
-  | Some path ->
-      Trace.stop ();
-      write_or_die Trace.write path
-  | None -> ());
-  if Metrics.enabled () then begin
-    Metrics.set
-      (Metrics.gauge "cli/wall_ns")
-      (Int64.to_float (Obs_clock.elapsed_ns ~since:t0));
-    Instr.to_metrics stats;
-    if o.metrics then Format.eprintf "%a@?" Metrics.pp ();
-    (match o.metrics_json with
-    | None -> ()
+  let flush stats =
+    (match o.trace_file with
     | Some path ->
-        let json = Json.to_string ~pretty:true (Metrics.to_json ()) ^ "\n" in
-        if path = "-" then print_string json
-        else
-          write_or_die
-            (fun path ->
-              let oc = open_out path in
-              Fun.protect
-                ~finally:(fun () -> close_out_noerr oc)
-                (fun () -> output_string oc json))
-            path);
-    Metrics.disable ()
-  end;
-  result
+        Trace.stop ();
+        write_or_die Trace.write path
+    | None -> ());
+    if Metrics.enabled () then begin
+      Metrics.set
+        (Metrics.gauge "cli/wall_ns")
+        (Int64.to_float (Obs_clock.elapsed_ns ~since:t0));
+      (match stats with Some s -> Instr.to_metrics s | None -> ());
+      if o.metrics then Format.eprintf "%a@?" Metrics.pp ();
+      (match o.metrics_json with
+      | None -> ()
+      | Some path ->
+          let json = Json.to_string ~pretty:true (Metrics.to_json ()) ^ "\n" in
+          if path = "-" then print_string json
+          else
+            write_or_die
+              (fun path ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () -> output_string oc json))
+              path);
+      Metrics.disable ()
+    end
+  in
+  match f () with
+  | result, stats ->
+      flush (Some stats);
+      result
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      if o.trace_file <> None then Trace.unwind_to 0;
+      flush None;
+      (match e with
+      | Sys.Break ->
+          prerr_endline "interrupted: observability sinks flushed";
+          exit 130
+      | _ -> Printexc.raise_with_backtrace e bt)
 
 (* --- solve ---------------------------------------------------------- *)
 
@@ -209,8 +229,16 @@ let solve_cmd lattice_path policy_path bounds events check_minimal explain
 (* --- batch ---------------------------------------------------------- *)
 
 (* Solve many policy files against one lattice, fanned out over domains by
-   the batch engine.  Output order is input order regardless of [--jobs]. *)
-let batch_cmd lattice_path policy_paths jobs show_stats obs =
+   the batch engine.  Output order is input order regardless of [--jobs].
+
+   Failure semantics: by default the batch is fail-fast — the first
+   faulting task (deterministically the lowest input index) aborts the
+   run with exit 4.  Under --keep-going every task runs to its own
+   verdict: solutions print as usual, faults print as FAILED lines (and
+   land in --failures-json), and the exit code is 4 iff any task
+   faulted. *)
+let batch_cmd lattice_path policy_paths jobs show_stats deadline_ms max_steps
+    retries backoff_ms keep_going failures_json obs =
   let lattice = or_die (load_lattice lattice_path) in
   let problems =
     Array.of_list
@@ -228,20 +256,81 @@ let batch_cmd lattice_path policy_paths jobs show_stats obs =
                exit 1)
          policy_paths)
   in
+  let policy =
+    {
+      Minup_core.Engine.default_policy with
+      deadline_ms;
+      max_steps;
+      retries;
+      backoff_ms;
+      fail_fast = not keep_going;
+    }
+  in
   let report =
-    with_obs obs (fun () ->
-        let r = Engine.solve_batch ?jobs problems in
-        (r, r.Engine.stats))
+    match
+      with_obs obs (fun () ->
+          let r = Engine.solve_batch ~policy ?jobs problems in
+          (r, r.Engine.stats))
+    with
+    | r -> r
+    | exception ((Sys.Break | Out_of_memory) as e) -> raise e
+    | exception e ->
+        (* Fail-fast abort: the engine re-raised the lowest-index task
+           fault (completed work on other tasks is discarded by design
+           here — use --keep-going to collect it). *)
+        prerr_endline ("error: batch failed: " ^ Printexc.to_string e);
+        exit 4
   in
   Array.iteri
-    (fun i (sol : Solver.solution) ->
+    (fun i outcome ->
       Printf.printf "== %s\n" (List.nth policy_paths i);
-      print_assignment lattice sol.Solver.assignment)
+      match outcome with
+      | Ok (sol : Solver.solution) ->
+          print_assignment lattice sol.Solver.assignment
+      | Error f -> Format.printf "FAILED: %a@." Minup_core.Fault.pp f)
     report.Engine.solutions;
+  (match failures_json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Json.Arr
+          (Array.to_list report.Engine.solutions
+          |> List.mapi (fun i outcome -> (i, outcome))
+          |> List.filter_map (fun (i, outcome) ->
+                   match outcome with
+                   | Ok _ -> None
+                   | Error f ->
+                       Some
+                         (Json.Obj
+                            [
+                              ("task", Json.Num (float_of_int i));
+                              ("policy", Json.Str (List.nth policy_paths i));
+                              ( "attempts",
+                                Json.Num
+                                  (float_of_int report.Engine.attempts.(i)) );
+                              ("fault", Minup_core.Fault.to_json f);
+                            ])))
+      in
+      let json = Json.to_string ~pretty:true doc ^ "\n" in
+      if path = "-" then print_string json
+      else begin
+        match
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc json)
+        with
+        | () -> ()
+        | exception Sys_error msg ->
+            prerr_endline ("error: " ^ msg);
+            exit 1
+      end);
   if show_stats then
-    Format.eprintf "problems=%d jobs=%d %a@."
+    Format.eprintf "problems=%d jobs=%d failed=%d retries=%d %a@."
       (Array.length problems)
-      report.Engine.jobs Minup_core.Instr.pp report.Engine.stats
+      report.Engine.jobs report.Engine.failed report.Engine.retries
+      Minup_core.Instr.pp report.Engine.stats;
+  if report.Engine.failed > 0 then exit 4
 
 (* --- check ---------------------------------------------------------- *)
 
@@ -358,12 +447,13 @@ let dot_cmd lattice_path policy_path =
    baselines and round-trips (lib/diffcheck).  Exit 1 on any
    disagreement; failing cases are shrunk and, with --repro-dir, written
    as replayable .lat/.cst pairs. *)
-let selfcheck_cmd seed cases jobs repro_dir mutation =
+let selfcheck_cmd seed cases jobs repro_dir mutation fault =
   let jobs =
     match jobs with Some j -> j | None -> Minup_core.Engine.default_jobs ()
   in
   let summary =
-    Minup_diffcheck.Selfcheck.run ?mutation ?repro_dir ~seed ~cases ~jobs ()
+    Minup_diffcheck.Selfcheck.run ?mutation ?fault ?repro_dir ~seed ~cases
+      ~jobs ()
   in
   Format.printf "%a@?" Minup_diffcheck.Selfcheck.pp_summary summary;
   if summary.Minup_diffcheck.Selfcheck.total_failures > 0 then begin
@@ -498,14 +588,69 @@ let batch_t =
       & info [ "stats" ]
           ~doc:"Print aggregated operation counters to stderr.")
   in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-task wall-clock budget: a solve still running after $(docv) \
+             milliseconds is cancelled cooperatively and reported as a \
+             deadline fault.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Per-task scheduling-step budget: a solve exceeding $(docv) \
+             bigloop/try iterations is cancelled and reported as a budget \
+             fault.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a faulted task up to $(docv) times (capped exponential \
+             backoff with deterministic jitter) before recording its fault.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base backoff before the first retry (doubles per retry).")
+  in
+  let keep_going_arg =
+    Arg.(
+      value & flag
+      & info [ "keep-going" ]
+          ~doc:
+            "Run every task to its own verdict instead of aborting at the \
+             first fault; failed tasks print FAILED lines and the exit code \
+             is 4 if any task faulted.")
+  in
+  let failures_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failures-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the failed tasks (index, policy file, attempts, fault) as \
+             a JSON array to $(docv) ('-' for stdout).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Solve many policy files against one lattice in parallel; results \
-          are printed in input order.")
+          are printed in input order.  Exits 0 when every task solved, 1 on \
+          usage/IO errors, 4 when a task faulted (fail-fast abort, or any \
+          failure under --keep-going).")
     Term.(
       const batch_cmd $ lattice_arg $ policies_arg $ jobs_arg $ stats_arg
-      $ obs_term)
+      $ deadline_arg $ max_steps_arg $ retries_arg $ backoff_arg
+      $ keep_going_arg $ failures_json_arg $ obs_term)
 
 let check_t =
   let assignment_arg =
@@ -586,6 +731,24 @@ let selfcheck_t =
              underclassify) to prove the harness and its shrinker catch \
              real bugs.")
   in
+  let inject_fault_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("raise", Minup_faultsim.Raise);
+                  ("stall", Minup_faultsim.Stall 60_000);
+                  ("blowout", Minup_faultsim.Blowout);
+                ]))
+          None
+      & info [ "inject-fault" ] ~docv:"KIND"
+          ~doc:
+            "Plant a runtime fault (raise, stall or blowout) into every \
+             case's supervised batch to prove the harness isolates and \
+             shrinks engine-level failures, not just wrong levels.")
+  in
   Cmd.v
     (Cmd.info "selfcheck"
        ~doc:
@@ -595,7 +758,7 @@ let selfcheck_t =
           to minimal reproducers.")
     Term.(
       const selfcheck_cmd $ seed_arg $ cases_arg $ jobs_arg $ repro_arg
-      $ inject_arg)
+      $ inject_arg $ inject_fault_arg)
 
 let demo_t =
   Cmd.v
@@ -610,4 +773,10 @@ let main =
           (Dawson, De Capitani di Vimercati, Lincoln, Samarati — PODS 1999).")
     [ solve_t; batch_t; check_t; stats_t; dot_t; selfcheck_t; demo_t ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* SIGINT raises [Sys.Break] instead of killing the process outright, so
+     [with_obs] can unwind open trace spans and flush the --trace /
+     --metrics sinks before exiting 130 — an interrupted run keeps its
+     partial observability data. *)
+  Sys.catch_break true;
+  exit (Cmd.eval main)

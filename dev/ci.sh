@@ -24,4 +24,42 @@ dune exec dev/validate_trace.exe -- --json "$obs_tmp/metrics.json"
 # harness (solver vs oracle/baselines/round-trips across all backends).
 dune exec -- mlsclassify selfcheck --seed 42 --cases 60 --jobs 2
 
+# Fault-injection gate: planting an unexpected runtime fault of each kind
+# (raise / virtual-clock stall / step-budget blowout) into the supervised
+# batch property must make every case fail, with each failure isolated to
+# its case and shrunk to a reproducer — the harness proving it catches
+# engine-level misbehavior, not just wrong levels.
+for kind in raise stall blowout; do
+  out=$(dune exec -- mlsclassify selfcheck --seed 42 --cases 3 --jobs 2 \
+    --inject-fault "$kind" 2>&1) && {
+    echo "ci: selfcheck --inject-fault $kind was not caught" >&2
+    exit 1
+  }
+  echo "$out" | grep -q 'property=supervised' || {
+    echo "ci: --inject-fault $kind failures not attributed to supervision" >&2
+    exit 1
+  }
+  echo "$out" | grep -q 'repro (shrunk)' || {
+    echo "ci: --inject-fault $kind failures were not shrunk" >&2
+    exit 1
+  }
+  echo "ci: inject-fault $kind caught, isolated, and shrunk"
+done
+
+# Supervision overhead gate: budgets + retry bookkeeping on the PR1
+# throughput workloads (no fault fires) must stay within 2% of the
+# unsupervised engine; the experiment also re-checks output parity and
+# that the fault counters report 0 in phase_metrics.
+dune exec bench/main.exe -- supervision
+grep -q '"engine/retries": 0' BENCH_PR4.json || {
+  echo "ci: BENCH_PR4.json is missing zero-valued fault counters" >&2
+  exit 1
+}
+overhead=$(sed -n 's/.*"overhead_pct_max": \([-0-9.e+]*\).*/\1/p' BENCH_PR4.json)
+awk "BEGIN { exit !($overhead <= 2.0) }" || {
+  echo "ci: supervision overhead ${overhead}% exceeds the 2% budget" >&2
+  exit 1
+}
+echo "ci: supervision overhead ${overhead}% (budget 2%)"
+
 echo "ci: OK"

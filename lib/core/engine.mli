@@ -1,4 +1,4 @@
-(** Parallel batch-solving engine.
+(** Parallel batch-solving engine with per-task supervision.
 
     Algorithm 3.1 solves one problem on one core; classification pipelines
     (schema sweeps, workload benchmarks, impact analyses over many candidate
@@ -7,7 +7,24 @@
     workers claim problems off a shared atomic counter, so skewed problem
     sizes cannot idle a domain, and every result is stored at its input
     index, so the output is deterministic — [solutions.(i)] is exactly what
-    [Solver.solve problems.(i)] returns, whatever the interleaving.
+    solving [problems.(i)] produces, whatever the interleaving.
+
+    {b Supervision.}  Each task is isolated: a solve that raises, overruns
+    its wall-clock deadline, or exhausts its scheduling-step budget yields
+    [Error fault] {e at its own index} and nothing else — completed
+    solutions elsewhere in the batch are never discarded.  A {!policy}
+    configures the per-task deadline and step budget (enforced
+    cooperatively by {!Solver.Make.solve}'s budget checks), bounded retries
+    with capped exponential backoff and deterministic seeded jitter, and
+    the failure mode: keep-going (the default — every task runs, faults
+    are reported per index) or fail-fast ([fail_fast = true] — the pool
+    stops claiming new tasks at the first fault and the {e lowest-index}
+    error is re-raised with its original backtrace, deterministically in
+    every interleaving).
+
+    [Sys.Break] (SIGINT under [Sys.catch_break]) and [Out_of_memory] are
+    never classified as task faults: they abort the pool and re-raise, so
+    a user interrupt is not silently recorded as a batch failure.
 
     Problems may share a lattice value: lattice state is read-only during
     solving except for {!Minup_lattice.Explicit}'s lub/glb memo, whose
@@ -18,15 +35,46 @@
     time with {!Solver.Make.solve} — or use the structured tracer: with
     {!Minup_obs.Trace} enabled, every worker emits a [worker] span (with
     its solve count and cumulative queue-wait time) and a [solve_task] span
-    per claimed problem on its own per-domain track, and with
-    {!Minup_obs.Metrics} enabled the engine records per-worker solve
-    counters ([engine/workerN/solves]) and the queue-wait distribution
-    ([engine/queue_wait_ns]) for load-balance diagnosis.  Both are disabled
-    by default and cost one branch per site when off. *)
+    per attempt (tagged with its attempt number) on its own per-domain
+    track, and with {!Minup_obs.Metrics} enabled the engine records
+    per-worker solve counters ([engine/workerN/solves]), the queue-wait
+    distribution ([engine/queue_wait_ns]), and the supervision counters
+    [engine/retries], [engine/deadline_exceeded], [engine/budget_exhausted],
+    [engine/injected] and [engine/solver_errors] (registered at batch start,
+    so they report 0 rather than vanish).  All are disabled by default and
+    cost one branch per site when off. *)
 
 (** [Domain.recommended_domain_count ()], floored at 1 — the default worker
     count. *)
 val default_jobs : unit -> int
+
+(** Supervision policy, applied to every task of a batch. *)
+type policy = {
+  deadline_ms : int option;  (** per-task (per-attempt) wall-clock budget *)
+  max_steps : int option;  (** per-task scheduling-step budget *)
+  retries : int;  (** extra attempts after a failed one (0 = none) *)
+  backoff_ms : int;
+      (** base backoff before retry [k] is [backoff_ms · 2^(k-1)] … *)
+  backoff_max_ms : int;  (** … capped here *)
+  seed : int;
+      (** seeds the deterministic backoff jitter (uniform in [0.5, 1) of
+          the nominal delay, derived from (seed, task, attempt)) *)
+  fail_fast : bool;
+      (** stop claiming tasks at the first fault and re-raise the
+          lowest-index error instead of returning a report *)
+}
+
+(** Keep-going, no deadline, no step budget, no retries
+    ([backoff_ms = 1], [backoff_max_ms = 100], [seed = 0] so enabling
+    retries alone gives sane pacing). *)
+val default_policy : policy
+
+(** A fault-injection hook (see [Minup_faultsim]): invoked once per solver
+    scheduling event of the task it instruments, with the ability to burn
+    budget steps ([charge]) or warp the budget's virtual clock forward
+    ([warp_ms]) — or to raise {!Fault.Injection} outright.  Both [charge]
+    and [warp_ms] are no-ops when the policy configures no budget. *)
+type hook = charge:(int -> unit) -> warp_ms:(int -> unit) -> unit
 
 module Make (L : Minup_lattice.Lattice_intf.S) : sig
   (** The solver instance the engine drives.  Compile problems and run
@@ -35,24 +83,48 @@ module Make (L : Minup_lattice.Lattice_intf.S) : sig
   module Solver : module type of Solver.Make (L)
 
   type report = {
-    solutions : Solver.solution array;
-        (** [solutions.(i)] solves [problems.(i)] *)
-    stats : Instr.t;  (** component-wise sum over the whole batch *)
+    solutions : (Solver.solution, Fault.t) result array;
+        (** [solutions.(i)] is the outcome of [problems.(i)] — a solution,
+            or the fault of its final attempt *)
+    attempts : int array;  (** attempts made per task (≥ 1) *)
+    stats : Instr.t;
+        (** component-wise sum over the {e successful} solves *)
     jobs : int;  (** worker count actually used *)
+    retries : int;  (** total retry attempts across the batch *)
+    failed : int;  (** number of [Error] outcomes *)
   }
 
-  (** [solve_batch ?residual ?upgrade_preference ?jobs problems] solves
-      every problem and returns the results in input order.  [jobs]
-      defaults to {!default_jobs}[ ()] and is clamped to the batch size;
-      [jobs = 1] solves inline with no domain spawns.  [residual] and
-      [upgrade_preference] are passed to every solve (see
-      {!Solver.Make.solve}).  If a solve raises, the exception is re-raised
-      (with its backtrace) after all workers finish.
+  (** The solutions of an all-[Ok] report, in input order.
 
-      @raise Invalid_argument if [jobs < 1]. *)
+      @raise Invalid_argument
+        naming the first failed index if any task faulted. *)
+  val ok_exn : report -> Solver.solution array
+
+  (** [solve_batch ?residual ?upgrade_preference ?policy ?instrument ?jobs
+      problems] solves every problem under [policy] (default
+      {!default_policy}) and returns the per-task outcomes in input order.
+      [jobs] defaults to {!default_jobs}[ ()] and is clamped to the batch
+      size; [jobs = 1] solves inline with no domain spawns.  [residual]
+      and [upgrade_preference] are passed to every solve (see
+      {!Solver.Make.solve}).
+
+      [instrument i] is consulted once per {e attempt} of task [i]; a
+      [Some hook] plants the hook on that attempt's solver event stream
+      (fault injection — see {!type-hook}).
+
+      With [policy.fail_fast = true] the first fault aborts the batch: the
+      faulting task's original exception is re-raised (with its
+      backtrace), and it is deterministically the lowest-index fault of
+      any interleaving.
+
+      @raise Invalid_argument
+        if [jobs < 1], [policy.retries < 0] or a backoff field is
+        negative. *)
   val solve_batch :
     ?residual:(L.t -> target:L.level -> others:L.level -> L.level) ->
     ?upgrade_preference:(string -> int) ->
+    ?policy:policy ->
+    ?instrument:(int -> hook option) ->
     ?jobs:int ->
     Solver.problem array ->
     report

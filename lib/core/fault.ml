@@ -1,0 +1,91 @@
+module Json = Minup_obs.Json
+
+type t =
+  | Solver_error of { exn : string }
+  | Deadline_exceeded of { deadline_ms : int; elapsed_ms : float }
+  | Budget_exhausted of { max_steps : int; steps : int }
+  | Injected of { description : string }
+
+exception Injection of string
+
+let () =
+  Printexc.register_printer (function
+    | Injection d -> Some (Printf.sprintf "Minup_core.Fault.Injection(%S)" d)
+    | _ -> None)
+
+let label = function
+  | Solver_error _ -> "solver_error"
+  | Deadline_exceeded _ -> "deadline"
+  | Budget_exhausted _ -> "budget"
+  | Injected _ -> "injected"
+
+let pp ppf = function
+  | Solver_error { exn } -> Format.fprintf ppf "solver exception: %s" exn
+  | Deadline_exceeded { deadline_ms; elapsed_ms } ->
+      Format.fprintf ppf "deadline exceeded: %.1fms elapsed of a %dms budget"
+        elapsed_ms deadline_ms
+  | Budget_exhausted { max_steps; steps } ->
+      Format.fprintf ppf "step budget exhausted: %d steps of a %d-step budget"
+        steps max_steps
+  | Injected { description } ->
+      Format.fprintf ppf "injected fault: %s" description
+
+(* Microsecond rounding keeps the float JSON-exact: the paylod is a
+   millisecond count, so three decimals lose nothing anyone reads. *)
+let round_us ms = Float.round (ms *. 1e3) /. 1e3
+
+let to_json t =
+  let kind = ("kind", Json.Str (label t)) in
+  match t with
+  | Solver_error { exn } -> Json.Obj [ kind; ("exn", Json.Str exn) ]
+  | Deadline_exceeded { deadline_ms; elapsed_ms } ->
+      Json.Obj
+        [
+          kind;
+          ("deadline_ms", Json.Num (float_of_int deadline_ms));
+          ("elapsed_ms", Json.Num (round_us elapsed_ms));
+        ]
+  | Budget_exhausted { max_steps; steps } ->
+      Json.Obj
+        [
+          kind;
+          ("max_steps", Json.Num (float_of_int max_steps));
+          ("steps", Json.Num (float_of_int steps));
+        ]
+  | Injected { description } ->
+      Json.Obj [ kind; ("description", Json.Str description) ]
+
+let of_json j =
+  let exception Bad of string in
+  let str k =
+    match Json.member k j with
+    | Some (Json.Str s) -> s
+    | Some _ -> raise (Bad (k ^ " is not a string"))
+    | None -> raise (Bad ("missing field " ^ k))
+  in
+  let num k =
+    match Json.member k j with
+    | Some (Json.Num f) -> f
+    | Some _ -> raise (Bad (k ^ " is not a number"))
+    | None -> raise (Bad ("missing field " ^ k))
+  in
+  let int k =
+    let f = num k in
+    if Float.is_integer f then int_of_float f
+    else raise (Bad (k ^ " is not an integer"))
+  in
+  match j with
+  | Json.Obj _ -> (
+      try
+        match str "kind" with
+        | "solver_error" -> Ok (Solver_error { exn = str "exn" })
+        | "deadline" ->
+            Ok
+              (Deadline_exceeded
+                 { deadline_ms = int "deadline_ms"; elapsed_ms = num "elapsed_ms" })
+        | "budget" ->
+            Ok (Budget_exhausted { max_steps = int "max_steps"; steps = int "steps" })
+        | "injected" -> Ok (Injected { description = str "description" })
+        | k -> Error (Printf.sprintf "unknown fault kind %S" k)
+      with Bad msg -> Error msg)
+  | _ -> Error "expected an object"

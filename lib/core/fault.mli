@@ -1,0 +1,47 @@
+(** Structured fault taxonomy for batch supervision.
+
+    One task of a supervised batch ({!Engine.Make.solve_batch}) ends either
+    in a solution or in a [Fault.t]: a value describing {e why} the task
+    failed, precise enough to aggregate (per-kind metrics), render (CLI
+    failure reports) and serialize (the [--failures-json] sink).  Faults are
+    plain data — no lattice types, no exceptions — so every layer above the
+    engine can pass them around freely.
+
+    The four kinds mirror the supervision layer's failure sources:
+
+    - {!Solver_error}: the solve raised an arbitrary exception (a buggy
+      residual callback, a failed internal self-check, …);
+    - {!Deadline_exceeded}: the task overran its per-task wall-clock budget
+      and was cancelled cooperatively ({!Solver.Make.Cancelled});
+    - {!Budget_exhausted}: the task overran its scheduling-step budget (the
+      [N_C·H·B] worst case of Thm. 5.2 made finite);
+    - {!Injected}: a fault planted on purpose by [Minup_faultsim] through
+      the engine's instrumentation hooks, so supervision is testable. *)
+
+type t =
+  | Solver_error of { exn : string }
+      (** [exn] is the [Printexc.to_string] rendering of the exception *)
+  | Deadline_exceeded of { deadline_ms : int; elapsed_ms : float }
+  | Budget_exhausted of { max_steps : int; steps : int }
+  | Injected of { description : string }
+
+(** Raised by fault-injection hooks ([Minup_faultsim]); the engine
+    classifies it as {!Injected} rather than {!Solver_error}, so planted
+    faults are distinguishable from real ones in reports and metrics. *)
+exception Injection of string
+
+(** Stable one-word kind name — ["solver_error"], ["deadline"],
+    ["budget"] or ["injected"].  Used as the metrics-counter suffix and by
+    tests comparing fault {e kinds} across runs whose timing payloads
+    differ. *)
+val label : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** [{"kind": label, ...payload}] — the shape consumed by
+    [--failures-json].  {!of_json} inverts it ([Error] on malformed
+    documents); [elapsed_ms] is rounded to microseconds so the round-trip
+    is exact. *)
+val to_json : t -> Minup_obs.Json.t
+
+val of_json : Minup_obs.Json.t -> (t, string) result

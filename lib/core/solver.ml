@@ -3,6 +3,31 @@ module Trace = Minup_obs.Trace
 module Metrics = Minup_obs.Metrics
 module Clock = Minup_obs.Clock
 
+(* A cooperative cancellation budget, shared by every solver instantiation
+   (it involves no lattice types).  [steps] counts scheduling iterations —
+   one per Bigloop attribute visit, one per Try worklist pop — the units of
+   progress the algorithm is guaranteed to make; [charge] lets
+   fault-injection hooks burn budget without doing work.  The wall clock is
+   an injectable [now] so tests (and the fault simulator) can warp time
+   deterministically instead of sleeping. *)
+type budget = {
+  deadline_ms : int option;
+  max_steps : int option;
+  now : unit -> int64;
+  mutable steps : int;
+}
+
+let budget ?deadline_ms ?max_steps ?(now = Clock.now_ns) () =
+  (match deadline_ms with
+  | Some ms when ms < 0 -> invalid_arg "Solver.budget: deadline_ms < 0"
+  | _ -> ());
+  (match max_steps with
+  | Some s when s < 0 -> invalid_arg "Solver.budget: max_steps < 0"
+  | _ -> ());
+  { deadline_ms; max_steps; now; steps = 0 }
+
+let charge b k = if k > 0 then b.steps <- b.steps + min k (max_int - b.steps)
+
 module Make (L : Minup_lattice.Lattice_intf.S) = struct
   type problem = {
     lat : L.t;
@@ -37,6 +62,35 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
     stats : Instr.t;
   }
 
+  type cancel_reason =
+    | Deadline of { deadline_ms : int; elapsed_ms : float }
+    | Steps of { max_steps : int }
+
+  type progress = {
+    partial : (string * L.level) list;
+    n_finalized : int;
+    n_attrs : int;
+    steps : int;
+  }
+
+  exception Cancelled of { reason : cancel_reason; progress : progress }
+
+  let () =
+    Printexc.register_printer (function
+      | Cancelled { reason; progress } ->
+          let what =
+            match reason with
+            | Deadline { deadline_ms; elapsed_ms } ->
+                Printf.sprintf "deadline %dms exceeded (%.1fms elapsed)"
+                  deadline_ms elapsed_ms
+            | Steps { max_steps } ->
+                Printf.sprintf "step budget %d exhausted" max_steps
+          in
+          Some
+            (Printf.sprintf "Solver.Cancelled(%s; %d/%d attrs finalized, %d steps)"
+               what progress.n_finalized progress.n_attrs progress.steps)
+      | _ -> None)
+
   exception Try_failed
 
   (* The whole algorithm, shared between the plain (§§3–5) and the
@@ -44,7 +98,8 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
      attribute (⊤, or the derived upper bound); [bounds_mode] forces
      Minlevel to run for every attribute of every complex constraint. *)
   let solve_internal ?(on_event = fun _ -> ()) ?residual ?upgrade_preference
-      ?(check_aggregate = false) ~init ~bounds_mode { lat; prob; prio } =
+      ?(check_aggregate = false) ?budget ~init ~bounds_mode { lat; prob; prio }
+      =
     let n = Problem.n_attrs prob in
     let csts = prob.Problem.csts in
     let stats = Instr.create () in
@@ -109,6 +164,81 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
     let lam = Array.init n init in
     let done_ = Array.make n false in
     let unlabeled = Array.copy prob.Problem.lhs_len in
+    (* Cooperative cancellation.  [check_fine] runs once per scheduling
+       event — each Try worklist pop and each Bigloop attribute: it
+       charges one step, trips on the step budget immediately, but polls
+       the wall clock only every 64 steps so neither hot loop pays a
+       clock read per iteration (a clock read per attribute costs >10%
+       on back-propagation-heavy workloads).  [check_final] runs once
+       after the Bigloop and always polls the clock, so a deadline — or
+       a hook's clock warp landing after the last amortized poll — is
+       noticed even on instances too small to ever reach 64 steps.  With
+       no budget both checks are the unit closure: one indirect call per
+       site, no clock reads, and no effect on the [Instr] counters
+       ([steps] lives in the budget, not in [stats]). *)
+    let check_fine, check_final =
+      match budget with
+      | None ->
+          let nop () = () in
+          (nop, nop)
+      | Some b ->
+          let t0 = b.now () in
+          let deadline_ns =
+            match b.deadline_ms with
+            | None -> None
+            | Some ms ->
+                Some (ms, Int64.add t0 (Int64.mul (Int64.of_int ms) 1_000_000L))
+          in
+          let cancel reason =
+            let partial = ref [] and count = ref 0 in
+            for a = n - 1 downto 0 do
+              if done_.(a) then begin
+                incr count;
+                partial := (Problem.attr_name prob a, lam.(a)) :: !partial
+              end
+            done;
+            raise
+              (Cancelled
+                 {
+                   reason;
+                   progress =
+                     {
+                       partial = !partial;
+                       n_finalized = !count;
+                       n_attrs = n;
+                       steps = b.steps;
+                     };
+                 })
+          in
+          let check_steps () =
+            match b.max_steps with
+            | Some m when b.steps > m -> cancel (Steps { max_steps = m })
+            | _ -> ()
+          in
+          let check_clock () =
+            match deadline_ns with
+            | Some (ms, d) ->
+                let t = b.now () in
+                if Int64.compare t d > 0 then
+                  cancel
+                    (Deadline
+                       {
+                         deadline_ms = ms;
+                         elapsed_ms = Int64.to_float (Int64.sub t t0) /. 1e6;
+                       })
+            | None -> ()
+          in
+          let fine () =
+            b.steps <- b.steps + 1;
+            check_steps ();
+            if b.steps land 63 = 0 then check_clock ()
+          in
+          let final () =
+            check_steps ();
+            check_clock ()
+          in
+          (fine, final)
+    in
     (* Incremental left-hand-side lub aggregates, one per *complex*
        constraint (indexed by [Problem.complex_idx]): [agg.(k)] is the lub
        of the levels of the finalized lhs members of the constraint with
@@ -220,6 +350,7 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
       in
       try
         while not (Queue.is_empty queue) do
+          check_fine ();
           let x = Queue.pop queue in
           match tocheck.(x) with
           | None -> () (* stale entry: the pair was moved or replaced *)
@@ -379,6 +510,7 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
           "scc";
       Array.iter
         (fun a ->
+          check_fine ();
           on_event (Consider { attr = attr_name a; priority = p });
           let t_attr0 = if tracing then Clock.now_ns () else 0L in
           done_.(a) <- true;
@@ -479,6 +611,10 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
         members;
       if scc_span then Trace.end_span ~cat:"solver" "scc")
       set_order;
+    (* A last look at the budget once the Bigloop completes: a clock warp
+       (or hook charge) landing after the last amortized poll must still
+       cancel the solve rather than let it return a full solution. *)
+    check_final ();
     if tracing then begin
       Trace.end_span ~cat:"solver" "bigloop";
       Trace.end_span ~cat:"solver"
@@ -517,10 +653,11 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
         Trace.unwind_to depth;
         Printexc.raise_with_backtrace e bt
 
-  let solve ?on_event ?residual ?upgrade_preference ?check_aggregate
+  let solve ?on_event ?residual ?upgrade_preference ?check_aggregate ?budget
       ({ lat; _ } as problem) =
     with_balanced_spans (fun () ->
         solve_internal ?on_event ?residual ?upgrade_preference ?check_aggregate
+          ?budget
           ~init:(fun _ -> L.top lat)
           ~bounds_mode:false problem)
 
@@ -605,14 +742,14 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
     with Inconsistent i -> Error i
 
   let solve_with_bounds ?on_event ?residual ?upgrade_preference ?check_aggregate
-      problem bounds =
+      ?budget problem bounds =
     match derive_upper_bounds problem bounds with
     | Error _ as e -> e
     | Ok ub ->
         Ok
           (with_balanced_spans (fun () ->
                solve_internal ?on_event ?residual ?upgrade_preference
-                 ?check_aggregate
+                 ?check_aggregate ?budget
                  ~init:(fun a -> ub.(a))
                  ~bounds_mode:true problem))
 end

@@ -26,6 +26,34 @@
     yields them, and [Try]'s worklist is FIFO — identical inputs produce
     identical classifications and traces. *)
 
+(** {2 Cooperative cancellation budgets}
+
+    A budget bounds a single solve: a wall-clock deadline, a cap on
+    {e scheduling steps} (one per [Bigloop] attribute visit, one per [Try]
+    worklist pop — the [N_C·H·B] units of Thm. 5.2 made finite), or both.
+    The solver checks the budget once per scheduling iteration and, when it
+    is exceeded, raises {!Make.Cancelled} carrying the partial assignment
+    computed so far.  Budgets are mutable single-use values: create one per
+    solve.
+
+    The clock is injectable ([now], defaulting to
+    {!Minup_obs.Clock.now_ns}) so tests and the fault simulator can warp
+    time deterministically instead of sleeping. *)
+
+type budget
+
+(** Raises [Invalid_argument] if either bound is negative.  A budget with
+    neither bound never cancels but still counts steps (useful with
+    {!charge}-based fault injection, which needs [max_steps] to trip). *)
+val budget :
+  ?deadline_ms:int -> ?max_steps:int -> ?now:(unit -> int64) -> unit -> budget
+
+(** [charge b k] burns [k] steps of the budget without doing work
+    (saturating, no-op for [k <= 0]).  The fault simulator's budget-blowout
+    faults are exactly this; the cancellation itself happens at the
+    solver's next check. *)
+val charge : budget -> int -> unit
+
 module Make (L : Minup_lattice.Lattice_intf.S) : sig
   type problem = private {
     lat : L.t;
@@ -69,6 +97,32 @@ module Make (L : Minup_lattice.Lattice_intf.S) : sig
     stats : Instr.t;
   }
 
+  type cancel_reason =
+    | Deadline of { deadline_ms : int; elapsed_ms : float }
+    | Steps of { max_steps : int }
+
+  (** What a cancelled solve had already established.  [partial] lists the
+      attributes whose levels were final at cancellation (in declaration
+      order); levels of unfinished attributes are meaningless and are not
+      reported. *)
+  type progress = {
+    partial : (string * L.level) list;
+    n_finalized : int;
+    n_attrs : int;
+    steps : int;
+  }
+
+  (** Raised by {!solve} / {!solve_with_bounds} when the {!type-budget} is
+      exceeded.  Cancellation is cooperative: the check runs once per
+      scheduling iteration, so a raising callback or a stuck lattice
+      operation is not interrupted — but every path through the algorithm
+      passes a check at least once per attribute.  Deadline checks are
+      amortized — the clock is polled every 64 scheduling steps, plus one
+      unconditional poll when the [Bigloop] completes — so [elapsed_ms]
+      can overshoot the deadline slightly, and a solve shorter than 64
+      steps only notices its deadline at that final poll. *)
+  exception Cancelled of { reason : cancel_reason; progress : progress }
+
   (** [solve ?on_event ?residual ?upgrade_preference problem].
 
       [residual], when provided, replaces the [Minlevel] lattice walk with a
@@ -92,12 +146,18 @@ module Make (L : Minup_lattice.Lattice_intf.S) : sig
       call, the incremental lhs-lub aggregate against the reference refold
       of the whole left-hand side, raising [Invalid_argument] on the first
       divergence.  The reference fold is uninstrumented, so the returned
-      {!Instr} counters are unaffected.  Intended for tests. *)
+      {!Instr} counters are unaffected.  Intended for tests.
+
+      [budget], when provided, bounds the solve (see {!type-budget}); the
+      solve raises {!Cancelled} if it is exceeded.  Without a budget the
+      hot path is unchanged — no clock reads, no step counting, and
+      bit-identical {!Instr} counters. *)
   val solve :
     ?on_event:(event -> unit) ->
     ?residual:(L.t -> target:L.level -> others:L.level -> L.level) ->
     ?upgrade_preference:(string -> int) ->
     ?check_aggregate:bool ->
+    ?budget:budget ->
     problem ->
     solution
 
@@ -139,6 +199,7 @@ module Make (L : Minup_lattice.Lattice_intf.S) : sig
     ?residual:(L.t -> target:L.level -> others:L.level -> L.level) ->
     ?upgrade_preference:(string -> int) ->
     ?check_aggregate:bool ->
+    ?budget:budget ->
     problem ->
     (string * L.level) list ->
     (solution, inconsistency) result

@@ -14,6 +14,7 @@ type counters = {
   mutable backtrack : int;
   mutable qian : int;
   mutable batch : int;
+  mutable supervised : int;
   mutable parse_rt : int;
   mutable json_rt : int;
   mutable bounded_ok : int;
@@ -30,6 +31,7 @@ let zero () =
     backtrack = 0;
     qian = 0;
     batch = 0;
+    supervised = 0;
     parse_rt = 0;
     json_rt = 0;
     bounded_ok = 0;
@@ -45,6 +47,7 @@ let add into c =
   into.backtrack <- into.backtrack + c.backtrack;
   into.qian <- into.qian + c.qian;
   into.batch <- into.batch + c.batch;
+  into.supervised <- into.supervised + c.supervised;
   into.parse_rt <- into.parse_rt + c.parse_rt;
   into.json_rt <- into.json_rt + c.json_rt;
   into.bounded_ok <- into.bounded_ok + c.bounded_ok;
@@ -59,6 +62,7 @@ let to_alist c =
     ("backtrack", c.backtrack);
     ("qian", c.qian);
     ("batch", c.batch);
+    ("supervised", c.supervised);
     ("parse", c.parse_rt);
     ("json", c.json_rt);
     ("bounded_ok", c.bounded_ok);
@@ -115,7 +119,8 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
     (* a ⊏ b pointwise: b dominates a and they differ somewhere. *)
     V.dominates lat b a && not (V.equal_assignment lat a b)
 
-  let run ?mutation ~(counters : counters) ~lat ~attrs ~csts ~bounds () =
+  let run ?mutation ?fault ~(counters : counters) ~lat ~attrs ~csts ~bounds ()
+      =
     let fails = ref [] in
     let fail property detail = fails := { property; detail } :: !fails in
     counters.cases <- counters.cases + 1;
@@ -189,14 +194,135 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
         counters.batch <- counters.batch + 1;
         let report = Engine.solve_batch ~jobs:2 (Array.make 3 problem) in
         Array.iteri
-          (fun i (b : S.solution) ->
-            if not (V.equal_assignment lat b.S.levels sol.S.levels) then
-              fail "batch"
-                (Printf.sprintf "solve_batch copy %d diverges from sequential" i)
-            else if Instr.to_alist b.S.stats <> Instr.to_alist sol.S.stats then
-              fail "batch"
-                (Printf.sprintf "solve_batch copy %d: counter divergence" i))
+          (fun i -> function
+            | Error f ->
+                fail "batch"
+                  (Format.asprintf "solve_batch copy %d faulted: %a" i
+                     Minup_core.Fault.pp f)
+            | Ok (b : S.solution) ->
+                if not (V.equal_assignment lat b.S.levels sol.S.levels) then
+                  fail "batch"
+                    (Printf.sprintf "solve_batch copy %d diverges from sequential"
+                       i)
+                else if Instr.to_alist b.S.stats <> Instr.to_alist sol.S.stats
+                then
+                  fail "batch"
+                    (Printf.sprintf "solve_batch copy %d: counter divergence" i))
           report.Engine.solutions;
+        (* Supervised batch with an injected fault: the fault must surface
+           as [Error] at exactly its planted index, every other copy must
+           stay bit-identical to the sequential solve, and the whole
+           outcome must be invariant under the worker count.  Skipped on
+           attribute-free instances: their solves emit no scheduling
+           events, so a planted fault can never fire (and the shrinker
+           must not be able to ride this property down to an empty
+           instance). *)
+        if attrs <> [] then begin
+          counters.supervised <- counters.supervised + 1;
+          let key = List.length csts + (7 * List.length attrs) in
+          let nb = 4 in
+          let f_idx = key mod nb in
+          (* Every attribute contributes at least two scheduling events
+             (Consider plus Back_assigned/Finalized), so any event index
+             below [2·|attrs|] is guaranteed to fire. *)
+          let at_event = key mod (2 * List.length attrs) in
+          let kind =
+            match key / nb mod 3 with
+            | 0 -> Minup_faultsim.Raise
+            | 1 -> Minup_faultsim.Stall 60_000
+            | _ -> Minup_faultsim.Blowout
+          in
+          let plan =
+            { Minup_faultsim.task = f_idx; at_event; kind }
+            ::
+            (match fault with
+            | None -> []
+            | Some k ->
+                (* An extra, unexpected fault: the property demands [Ok]
+                   here, so the harness must flag it — this is how
+                   [--inject-fault] proves supervision failures are
+                   caught. *)
+                [
+                  {
+                    Minup_faultsim.task = (f_idx + 2) mod nb;
+                    at_event;
+                    kind = k;
+                  };
+                ])
+          in
+          let policy =
+            {
+              Minup_core.Engine.default_policy with
+              deadline_ms = Some 10_000;
+              max_steps = Some 10_000_000;
+              retries = 1;
+              backoff_ms = 0;
+              seed = key;
+            }
+          in
+          let expected_label =
+            match kind with
+            | Minup_faultsim.Raise -> "injected"
+            | Minup_faultsim.Stall _ -> "deadline"
+            | Minup_faultsim.Blowout -> "budget"
+          in
+          let run_supervised jobs =
+            Engine.solve_batch ~jobs ~policy
+              ~instrument:(Minup_faultsim.instrument plan)
+              (Array.make nb problem)
+          in
+          let check_report jobs (r : Engine.report) =
+            Array.iteri
+              (fun i -> function
+                | Ok (b : S.solution) ->
+                    if i = f_idx then
+                      fail "supervised"
+                        (Printf.sprintf
+                           "jobs=%d: planted fault at task %d did not fire" jobs
+                           f_idx)
+                    else if not (V.equal_assignment lat b.S.levels sol.S.levels)
+                    then
+                      fail "supervised"
+                        (Printf.sprintf
+                           "jobs=%d: fault-free copy %d diverges from sequential"
+                           jobs i)
+                    else if Instr.to_alist b.S.stats <> Instr.to_alist sol.S.stats
+                    then
+                      fail "supervised"
+                        (Printf.sprintf
+                           "jobs=%d: fault-free copy %d: counter divergence" jobs
+                           i)
+                | Error f ->
+                    if i <> f_idx then
+                      fail "supervised"
+                        (Format.asprintf
+                           "jobs=%d: unplanted fault at task %d: %a" jobs i
+                           Minup_core.Fault.pp f)
+                    else if Minup_core.Fault.label f <> expected_label then
+                      fail "supervised"
+                        (Format.asprintf
+                           "jobs=%d: planted %s fault surfaced as %a" jobs
+                           expected_label Minup_core.Fault.pp f))
+              r.Engine.solutions;
+            if r.Engine.attempts.(f_idx) <> 2 then
+              fail "supervised"
+                (Printf.sprintf "jobs=%d: expected 2 attempts at task %d, got %d"
+                   jobs f_idx
+                   r.Engine.attempts.(f_idx))
+          in
+          let r1 = run_supervised 1 in
+          let r2 = run_supervised 2 in
+          check_report 1 r1;
+          check_report 2 r2;
+          let labels (r : Engine.report) =
+            Array.map
+              (function
+                | Ok _ -> "ok" | Error f -> Minup_core.Fault.label f)
+              r.Engine.solutions
+          in
+          if labels r1 <> labels r2 then
+            fail "supervised" "outcome labels differ between jobs=1 and jobs=2"
+        end;
         (* Parse round-trip: render the policy and read it back. *)
         counters.parse_rt <- counters.parse_rt + 1;
         let resolved : _ Parse.resolved =

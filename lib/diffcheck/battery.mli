@@ -16,6 +16,12 @@
       constraints and never beats the solver;
     - {!Minup_core.Engine.Make.solve_batch} is bit-identical (levels
       {e and} [Instr] counters) to sequential solves;
+    - a {e supervised} batch with a seeded fault planted through
+      [Minup_faultsim] (raise / virtual-clock stall / step-budget
+      blowout, rotating per case) returns [Error] at exactly the planted
+      index, retries it exactly as configured, leaves every other copy
+      bit-identical to the sequential solve, and produces the same
+      outcome labels at [jobs = 1] and [jobs = 2];
     - the {!Minup_constraints.Parse} render/parse round-trip preserves
       the policy, and the {!Minup_obs.Json} print/parse round-trip
       preserves a document built from the solution (compact and pretty);
@@ -42,6 +48,7 @@ type counters = {
   mutable backtrack : int;
   mutable qian : int;
   mutable batch : int;
+  mutable supervised : int;
   mutable parse_rt : int;
   mutable json_rt : int;
   mutable bounded_ok : int;
@@ -60,9 +67,15 @@ type failure = { property : string; detail : string }
 
 module Make (L : Minup_lattice.Lattice_intf.S) : sig
   (** Run the full battery on one case.  Returns the disagreements found
-      (empty = the case passed); bumps [counters] per executed check. *)
+      (empty = the case passed); bumps [counters] per executed check.
+
+      [fault] plants an extra, {e unexpected} runtime fault (of the given
+      kind) into the supervised-batch property, which must then fail —
+      the supervision analogue of [mutation]: it proves the harness
+      catches engine-level misbehavior, not just wrong levels. *)
   val run :
     ?mutation:mutation ->
+    ?fault:Minup_faultsim.kind ->
     counters:counters ->
     lat:L.t ->
     attrs:string list ->

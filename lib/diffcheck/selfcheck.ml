@@ -139,16 +139,17 @@ let gen_case seed id =
         payload = P_powerset (lat, attrs, csts, bounds);
       }
 
-let run_case ?mutation case =
+let run_case ?mutation ?fault case =
   let counters = Battery.zero () in
   let failures =
     match case.payload with
     | P_explicit (lat, attrs, csts, bounds) ->
-        B_explicit.run ?mutation ~counters ~lat ~attrs ~csts ~bounds ()
+        B_explicit.run ?mutation ?fault ~counters ~lat ~attrs ~csts ~bounds ()
     | P_compartment (lat, attrs, csts, bounds) ->
-        B_compartment.run ?mutation ~counters ~lat ~attrs ~csts ~bounds ()
+        B_compartment.run ?mutation ?fault ~counters ~lat ~attrs ~csts ~bounds
+          ()
     | P_powerset (lat, attrs, csts, bounds) ->
-        B_powerset.run ?mutation ~counters ~lat ~attrs ~csts ~bounds ()
+        B_powerset.run ?mutation ?fault ~counters ~lat ~attrs ~csts ~bounds ()
   in
   (counters, failures)
 
@@ -166,7 +167,7 @@ let materialize case =
 (* "Still fails": the mirrored instance parses back into a valid lattice,
    resolves, and the explicit-backend battery reports at least one
    disagreement (under the same injected mutation, if any). *)
-let instance_fails ?mutation (inst : Instance.t) =
+let instance_fails ?mutation ?fault (inst : Instance.t) =
   match Instance.lattice inst with
   | Error _ -> false
   | Ok lat -> (
@@ -174,8 +175,8 @@ let instance_fails ?mutation (inst : Instance.t) =
       | None -> false
       | Some (csts, bounds) ->
           let counters = Battery.zero () in
-          B_explicit.run ?mutation ~counters ~lat ~attrs:inst.Instance.attrs
-            ~csts ~bounds ()
+          B_explicit.run ?mutation ?fault ~counters ~lat
+            ~attrs:inst.Instance.attrs ~csts ~bounds ()
           <> [])
 
 (* --- the harness ----------------------------------------------------- *)
@@ -214,7 +215,7 @@ let ensure_dir dir =
   if not (Sys.file_exists dir) then
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
 
-let run ?mutation ?repro_dir ~seed ~cases ~jobs () =
+let run ?mutation ?fault ?repro_dir ~seed ~cases ~jobs () =
   let jobs = max 1 (min jobs (max 1 cases)) in
   let outcomes = Array.make cases None in
   let next = Atomic.make 0 in
@@ -228,7 +229,7 @@ let run ?mutation ?repro_dir ~seed ~cases ~jobs () =
         let result =
           (* An exception out of any implementation is itself a finding,
              not a harness crash. *)
-          match run_case ?mutation case with
+          match run_case ?mutation ?fault case with
           | counters, failures -> (counters, failures)
           | exception e ->
               ( Battery.zero (),
@@ -277,10 +278,10 @@ let run ?mutation ?repro_dir ~seed ~cases ~jobs () =
       (fun ((case : case), fs) ->
         let f = List.hd fs in
         let inst0 = materialize case in
-        let mirrored = instance_fails ?mutation inst0 in
+        let mirrored = instance_fails ?mutation ?fault inst0 in
         let inst =
           if mirrored then
-            Shrink.shrink ~predicate:(instance_fails ?mutation) inst0
+            Shrink.shrink ~predicate:(instance_fails ?mutation ?fault) inst0
           else inst0
         in
         let header =
@@ -362,7 +363,7 @@ let pp_summary ppf s =
     Format.fprintf ppf "  (%d further failures not shown)@."
       (s.total_failures - List.length s.failures)
 
-let replay ?mutation ~lat ~cst () =
+let replay ?mutation ?fault ~lat ~cst () =
   match Lattice_file.parse lat with
   | Error e -> Error (Format.asprintf "lattice: %a" Lattice_file.pp_error e)
   | Ok lattice -> (
@@ -376,7 +377,7 @@ let replay ?mutation ~lat ~cst () =
       | Ok r ->
           let counters = Battery.zero () in
           Ok
-            (B_explicit.run ?mutation ~counters ~lat:lattice
+            (B_explicit.run ?mutation ?fault ~counters ~lat:lattice
                ~attrs:r.Minup_constraints.Parse.attrs
                ~csts:r.Minup_constraints.Parse.csts
                ~bounds:r.Minup_constraints.Parse.upper_bounds ()))

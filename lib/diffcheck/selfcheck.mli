@@ -41,8 +41,14 @@ type summary = {
 (** Failing cases reported (and shrunk) in full; the rest only counted. *)
 val max_reports : int
 
+(** [fault] plants an extra runtime fault into every case's
+    supervised-batch property (see {!Battery.Make.run}) — the
+    supervision analogue of [mutation], used by
+    [mlsclassify selfcheck --inject-fault] to prove the harness catches
+    engine-level misbehavior. *)
 val run :
   ?mutation:Battery.mutation ->
+  ?fault:Minup_faultsim.kind ->
   ?repro_dir:string ->
   seed:int ->
   cases:int ->
@@ -57,6 +63,7 @@ val pp_summary : Format.formatter -> summary -> unit
     {e contents}.  [Error] when they fail to parse. *)
 val replay :
   ?mutation:Battery.mutation ->
+  ?fault:Minup_faultsim.kind ->
   lat:string ->
   cst:string ->
   unit ->

@@ -1,0 +1,60 @@
+module Fault = Minup_core.Fault
+module Prng = Minup_workload.Prng
+
+type kind = Raise | Stall of int | Blowout
+
+type site = { task : int; at_event : int; kind : kind }
+type plan = site list
+
+let pp_kind ppf = function
+  | Raise -> Format.pp_print_string ppf "raise"
+  | Stall ms -> Format.fprintf ppf "stall %dms" ms
+  | Blowout -> Format.pp_print_string ppf "blowout"
+
+let describe { task; at_event; kind } =
+  Format.asprintf "%a at event %d of task %d" pp_kind kind at_event task
+
+(* A stall long enough to bust any plausible test deadline; virtual, so it
+   costs nothing.  The blowout burns [max_int / 2] steps: past every
+   finite [max_steps], yet far from the saturation edge. *)
+let stall_ms = 60_000
+let blowout_steps = max_int / 2
+
+let plan ~seed ~tasks ~faults =
+  if tasks < 0 then invalid_arg "Faultsim.plan: tasks < 0";
+  if faults < 0 then invalid_arg "Faultsim.plan: faults < 0";
+  let rng = Prng.create (0x5eed + (seed * 3)) in
+  let targets = Prng.sample rng (min faults tasks) (List.init tasks Fun.id) in
+  List.mapi
+    (fun i task ->
+      let kind =
+        match i mod 3 with
+        | 0 -> Raise
+        | 1 -> Stall stall_ms
+        | _ -> Blowout
+      in
+      (* Early events so the site fires even on one-attribute instances
+         (every attribute yields at least a Consider event). *)
+      { task; at_event = Prng.int rng 2; kind })
+    (List.sort compare targets)
+
+let targets plan = List.sort_uniq compare (List.map (fun s -> s.task) plan)
+
+let hook_of_site s : Minup_core.Engine.hook =
+  let count = ref 0 in
+  let fired = ref false in
+  fun ~charge ~warp_ms ->
+    let k = !count in
+    incr count;
+    if (not !fired) && k >= s.at_event then begin
+      fired := true;
+      match s.kind with
+      | Raise -> raise (Fault.Injection (describe s))
+      | Stall ms -> warp_ms ms
+      | Blowout -> charge blowout_steps
+    end
+
+let instrument plan i =
+  match List.find_opt (fun s -> s.task = i) plan with
+  | None -> None
+  | Some s -> Some (hook_of_site s)

@@ -1,0 +1,58 @@
+(** Deterministic runtime fault injection for the batch engine.
+
+    Supervision code is only trustworthy if its failure paths run; this
+    module plants {e seeded, reproducible} faults inside live solves so
+    tests (the battery's supervised-batch property, [mlsclassify selfcheck
+    --inject-fault], the CI gate) can verify that {!Minup_core.Engine}
+    isolates each fault at its own task index and leaves every other
+    result bit-identical.
+
+    Faults ride the engine's instrumentation hooks
+    ({!Minup_core.Engine.type-hook}): a planted site counts the solver's
+    scheduling events of its target task and, at the chosen event, either
+    raises {!Minup_core.Fault.Injection}, warps the task budget's virtual
+    clock forward (a "stall" that needs no real sleeping and therefore
+    cannot flake under load), or burns the task's entire step budget.
+    Everything is derived from explicit integers — no wall clock, no
+    global PRNG — so a (seed, tasks, faults) triple plants the same sites
+    in every run and under every [--jobs] value. *)
+
+(** What the fault does when it fires.  [Stall ms] and [Blowout] only
+    have an effect when the batch policy configures a deadline
+    (resp. step budget) — they {e violate} a budget rather than raise. *)
+type kind =
+  | Raise  (** raise {!Minup_core.Fault.Injection} mid-solve *)
+  | Stall of int  (** warp the virtual clock forward by [ms] *)
+  | Blowout  (** charge the step budget past any finite [max_steps] *)
+
+type site = { task : int; at_event : int; kind : kind }
+
+(** [site.at_event] semantics: the fault fires at the first scheduling
+    event whose index (0-based) is [>= at_event] — at most once per
+    attempt.  A task whose solve emits no events (an empty problem) never
+    fires its fault. *)
+type plan = site list
+
+val pp_kind : Format.formatter -> kind -> unit
+
+(** Human-readable site description; also the [Injection] payload, so a
+    fault report names the site that planted it. *)
+val describe : site -> string
+
+(** [plan ~seed ~tasks ~faults] plants [min faults tasks] sites at
+    distinct task indices, rotating through all three kinds and firing at
+    small event indices (so they hit even tiny instances).  Deterministic
+    in [(seed, tasks, faults)].
+
+    @raise Invalid_argument if [tasks < 0] or [faults < 0]. *)
+val plan : seed:int -> tasks:int -> faults:int -> plan
+
+(** The indices of the planned sites, ascending and distinct. *)
+val targets : plan -> int list
+
+(** [instrument plan] is an [?instrument] argument for
+    {!Minup_core.Engine.Make.solve_batch}: each call returns a {e fresh}
+    hook (with its own event counter) for tasks the plan targets, [None]
+    for the rest — so every retry attempt replants the fault and a
+    planted task fails deterministically through all its retries. *)
+val instrument : plan -> int -> Minup_core.Engine.hook option

@@ -38,7 +38,54 @@ whatever the worker count, and --jobs is clamped to the batch size:
   rank                     L1
   department               L6
   $ mlsclassify batch -l fig1b.lat -j 3 --stats employee.cst 2>&1 >/dev/null
-  problems=1 jobs=1 lub=1 glb=0 leq=6 minlevel=2 try=0 try_iters=0 checks=0
+  problems=1 jobs=1 failed=0 retries=0 lub=1 glb=0 leq=6 minlevel=2 try=0 try_iters=0 checks=0
+
+Batch supervision. Exit codes: 1 = usage/IO error, 2 = infeasible,
+3 = verification failure, 4 = batch failure, 130 = interrupted. A
+per-task step budget (or wall-clock deadline) turns a runaway task into
+a typed fault; under --keep-going every task is attempted, failures are
+reported in place, and the whole batch exits 4:
+
+  $ mlsclassify batch -l fig1b.lat --max-steps 1 --keep-going employee.cst employee.cst
+  == employee.cst
+  FAILED: step budget exhausted: 2 steps of a 1-step budget
+  == employee.cst
+  FAILED: step budget exhausted: 2 steps of a 1-step budget
+  [4]
+
+Failed tasks are retried (with seeded, capped backoff) before being
+reported; --failures-json emits a machine-readable failure report
+('-' = stdout), one object per failed task:
+
+  $ mlsclassify batch -l fig1b.lat --max-steps 1 --retries 2 --backoff-ms 0 --keep-going --failures-json - employee.cst 2>/dev/null
+  == employee.cst
+  FAILED: step budget exhausted: 2 steps of a 1-step budget
+  [
+    {
+      "task": 0,
+      "policy": "employee.cst",
+      "attempts": 3,
+      "fault": {
+        "kind": "budget",
+        "max_steps": 1,
+        "steps": 2
+      }
+    }
+  ]
+  [4]
+
+The --stats line accounts failures and retries:
+
+  $ mlsclassify batch -l fig1b.lat --max-steps 1 --retries 1 --backoff-ms 0 --keep-going --stats employee.cst 2>&1 >/dev/null
+  problems=1 jobs=1 failed=1 retries=1 lub=0 glb=0 leq=0 minlevel=0 try=0 try_iters=0 checks=0
+  [4]
+
+Without --keep-going the batch fails fast: the first failure (by input
+order, deterministically) aborts the batch:
+
+  $ mlsclassify batch -l fig1b.lat --max-steps 1 employee.cst employee.cst
+  error: batch failed: Solver.Cancelled(step budget 1 exhausted; 1/4 attrs finalized, 2 steps)
+  [4]
 
 Observability: --trace writes a Chrome trace-event file, --metrics prints
 a registry snapshot on stderr (counters are deterministic; timing gauges
@@ -71,6 +118,23 @@ B/E = 4 events) and --metrics-json aggregates the whole batch:
   4
   $ grep '"instr/lub"' bm.json
       "instr/lub": 2,
+
+Interrupting a batch must still flush the observability sinks (the
+trace used to be lost on SIGINT): a zero deadline makes every attempt
+fail instantly while the retry backoff keeps the process alive long
+enough to kill; it exits 130 with open spans unwound and the trace
+written:
+
+  $ mlsclassify batch -l fig1b.lat --jobs 1 --deadline-ms 0 --retries 100000 --trace sigint.json employee.cst >/dev/null 2>sigint.err &
+  $ MLS_PID=$!
+  $ sleep 1
+  $ kill -INT $MLS_PID
+  $ wait $MLS_PID
+  [130]
+  $ grep interrupted sigint.err
+  interrupted: observability sinks flushed
+  $ grep -o '"name":"worker"' sigint.json | wc -l
+  2
 
 Minimality can be verified exhaustively on small instances:
 
@@ -175,7 +239,7 @@ function of (seed, cases) — never of the worker count:
     backends: compartment=4 explicit=4 powerset=4
     shapes: acyclic=5 mixed=2 single_scc=5
     bounded: 6
-    checks: compile=12 satisfies=12 minimal=12 oracle=10 backtrack=12 qian=12 batch=12 parse=12 json=12 bounded_ok=4 bounded_infeasible=2
+    checks: compile=12 satisfies=12 minimal=12 oracle=10 backtrack=12 qian=12 batch=12 supervised=12 parse=12 json=12 bounded_ok=4 bounded_infeasible=2
     failures: 0
   OK
 
@@ -187,7 +251,7 @@ failure to a near-empty reproducer written as replayable .lat/.cst files:
     backends: compartment=1 explicit=1 powerset=1
     shapes: acyclic=2 single_scc=1
     bounded: 1
-    checks: compile=3 satisfies=3 minimal=2 oracle=2 backtrack=2 qian=2 batch=3 parse=3 json=3 bounded_ok=1 bounded_infeasible=0
+    checks: compile=3 satisfies=3 minimal=2 oracle=2 backtrack=2 qian=2 batch=3 supervised=3 parse=3 json=3 bounded_ok=1 bounded_infeasible=0
     failures: 2
     FAIL case=1 backend=compartment shape=single_scc property=satisfies: solution violates a constraint (5 attrs, 11 csts)
       repro (shrunk): 2 levels, 1 attrs, 0 constraints, 0 bounds
@@ -207,3 +271,23 @@ mutation, not in the solver):
   $ mlsclassify solve -l repro/case2.lat -c repro/case2.cst --check-minimal
   verified: pointwise minimal
   A6                       v0
+
+Injecting a runtime fault (the supervision analogue of --inject-bug)
+proves the harness isolates and shrinks engine-level misbehavior too:
+an unplanted raise/stall/blowout planted through the fault simulator
+must surface as a supervised-batch failure on every case:
+
+  $ mlsclassify selfcheck --seed 42 --cases 2 --jobs 2 --inject-fault raise
+  selfcheck: seed=42 cases=2
+    backends: compartment=1 explicit=1
+    shapes: acyclic=1 single_scc=1
+    bounded: 1
+    checks: compile=2 satisfies=2 minimal=2 oracle=2 backtrack=2 qian=2 batch=2 supervised=2 parse=2 json=2 bounded_ok=1 bounded_infeasible=0
+    failures: 4
+    FAIL case=0 backend=explicit shape=acyclic property=supervised: jobs=1: unplanted fault at task 3: injected fault: raise at event 9 of task 3
+      repro (shrunk): 1 levels, 1 attrs, 0 constraints, 0 bounds
+    FAIL case=1 backend=compartment shape=single_scc property=supervised: jobs=1: unplanted fault at task 0: injected fault: raise at event 6 of task 0
+      repro (shrunk): 1 levels, 1 attrs, 0 constraints, 0 bounds
+    (2 further failures not shown)
+  FAIL
+  [1]

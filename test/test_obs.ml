@@ -324,15 +324,15 @@ let test_observed_solve_identity () =
 
 let test_engine_trace () =
   let problems = Array.init 4 (fun _ -> fig2_problem ()) in
-  let reference = Engine.solve_batch ~jobs:1 problems in
+  let reference = Engine.ok_exn (Engine.solve_batch ~jobs:1 problems) in
   let report =
     with_trace (fun () -> Engine.solve_batch ~jobs:2 problems)
   in
   Array.iteri
     (fun i (s : SE.solution) ->
       checkb (Printf.sprintf "solution %d matches sequential" i) true
-        (s.SE.levels = reference.Engine.solutions.(i).SE.levels))
-    report.Engine.solutions;
+        (s.SE.levels = reference.(i).SE.levels))
+    (Engine.ok_exn report);
   let events = check_chrome_json (roundtrip (Trace.to_json ())) in
   let count name ph =
     List.length
