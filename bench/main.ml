@@ -748,6 +748,148 @@ let supervision () =
     supervision_json_path worst
 
 (* ------------------------------------------------------------------ *)
+(* SESSION — incremental resolve vs from-scratch on single deltas       *)
+(* (PR 5).                                                              *)
+
+let session_json_path = "BENCH_PR5.json"
+
+let session_incremental () =
+  section
+    "SESSION: incremental resolve vs from-scratch solve (writes \
+     BENCH_PR5.json)";
+  let module Sess = Minup_session.Session.Make (Total) in
+  let n = 2_000 in
+  let attrs, csts = acyclic_workload 7_000 n in
+  let sess = Sess.create ~lattice:ladder16 ~attrs csts in
+  let rng = Prng.create 7_001 in
+  let attr_arr = Array.of_list attrs in
+  (* Pre-seed lower bounds on a slice of attributes: a later
+     re-tightening of one of these only changes the level of a bound
+     constraint the compiled problem already contains, which is the
+     session's cheapest (patch) path. *)
+  let bounded = Array.of_list (Prng.sample rng 200 attrs) in
+  Array.iter
+    (fun a -> Sess.set_lower_bound sess a (Some (2 + Prng.int rng 6)))
+    bounded;
+  ignore (Sess.resolve sess);
+  let n_deltas = 40 in
+  let samples = ref [] in
+  for k = 0 to n_deltas - 1 do
+    (* Three re-tightenings for every added constraint: the acceptance
+       target is single-constraint deltas, with the add path keeping the
+       recompile-and-reuse path honest. *)
+    let kind =
+      if k mod 4 = 3 then begin
+        let a = attr_arr.(Prng.int rng (Array.length attr_arr)) in
+        ignore
+          (Sess.add_constraint sess
+             (Cst.simple a (Cst.Level (1 + Prng.int rng 8)))
+            : int);
+        "add"
+      end
+      else begin
+        let a = bounded.(Prng.int rng (Array.length bounded)) in
+        Sess.set_lower_bound sess a (Some (1 + Prng.int rng 15));
+        "retighten"
+      end
+    in
+    let t0 = Unix.gettimeofday () in
+    let inc = Sess.resolve sess in
+    let inc_s = Unix.gettimeofday () -. t0 in
+    let attrs', csts' = Sess.snapshot sess in
+    let scratch_sol = ref None in
+    let scratch_s =
+      time_it (fun () ->
+          let p = ST.compile_exn ~lattice:ladder16 ~attrs:attrs' csts' in
+          scratch_sol := Some (ST.solve p))
+    in
+    let scratch = Option.get !scratch_sol in
+    if inc.Sess.Solver.levels <> scratch.ST.levels then
+      failwith
+        (Printf.sprintf "session-incremental: delta %d diverged from scratch"
+           k);
+    samples := (kind, inc_s, scratch_s) :: !samples
+  done;
+  let samples = List.rev !samples in
+  let median xs =
+    match List.sort compare xs with
+    | [] -> 0.0
+    | s -> List.nth s (List.length s / 2)
+  in
+  let speedup (_, inc_s, scratch_s) = scratch_s /. Float.max inc_s 1e-9 in
+  let kinds = [ "retighten"; "add" ] in
+  let per_kind =
+    List.map
+      (fun kind ->
+        let ks = List.filter (fun (k, _, _) -> k = kind) samples in
+        ( kind,
+          List.length ks,
+          median (List.map (fun (_, i, _) -> i) ks) *. 1e3,
+          median (List.map (fun (_, _, s) -> s) ks) *. 1e3,
+          median (List.map speedup ks) ))
+      kinds
+  in
+  table
+    ~header:[ "delta"; "count"; "resolve ms"; "scratch ms"; "speedup" ]
+    (List.map
+       (fun (kind, count, inc_ms, scratch_ms, sp) ->
+         [
+           kind;
+           string_of_int count;
+           Printf.sprintf "%.3f" inc_ms;
+           Printf.sprintf "%.3f" scratch_ms;
+           Printf.sprintf "%.1fx" sp;
+         ])
+       per_kind);
+  let overall = median (List.map speedup samples) in
+  let stats = Sess.stats sess in
+  let json =
+    let open Minup_obs.Json in
+    let num_i i = Num (float_of_int i) in
+    Obj
+      ([ ("benchmark", Str "session_incremental") ]
+      @ host_meta ()
+      @ [
+          ("n_attrs", num_i n);
+          ("n_deltas", num_i n_deltas);
+          ( "results",
+            Arr
+              (List.map
+                 (fun (kind, count, inc_ms, scratch_ms, sp) ->
+                   Obj
+                     [
+                       ("delta", Str kind);
+                       ("count", num_i count);
+                       ("median_resolve_ms", Num inc_ms);
+                       ("median_scratch_ms", Num scratch_ms);
+                       ("median_speedup", Num sp);
+                     ])
+                 per_kind) );
+          ("median_speedup", Num overall);
+          ( "session_stats",
+            Obj
+              [
+                ("resolves", num_i stats.Sess.resolves);
+                ("cached", num_i stats.Sess.cached);
+                ("patched", num_i stats.Sess.patched);
+                ("incremental", num_i stats.Sess.incremental);
+                ("full", num_i stats.Sess.full);
+                ("frozen", num_i stats.Sess.frozen);
+              ] );
+        ])
+  in
+  let oc = open_out session_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Minup_obs.Json.to_string ~pretty:true json);
+      output_char oc '\n');
+  Printf.printf
+    "wrote %s  (median incremental speedup %.1fx; every resolve verified \
+     equal to scratch)\n"
+    session_json_path overall
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -764,6 +906,7 @@ let experiments =
     ("throughput", throughput);
     ("throughput-smoke", throughput_smoke);
     ("supervision", supervision);
+    ("session-incremental", session_incremental);
   ]
 
 let () =

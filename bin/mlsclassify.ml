@@ -3,6 +3,7 @@
 
      mlsclassify solve  -l lattice.lat -c policy.cst [--bound a=LVL] [--events]
      mlsclassify batch  -l lattice.lat --jobs 4 p1.cst p2.cst ...
+     mlsclassify serve  [--max-sessions N] [--deadline-ms MS] [--max-steps N]
      mlsclassify stats  -c policy.cst
      mlsclassify dot    -l lattice.lat
      mlsclassify demo
@@ -18,6 +19,7 @@ module Solver = Minup_core.Solver.Make (Explicit)
 module Engine = Minup_core.Engine.Make (Explicit)
 module Parse = Minup_constraints.Parse
 module Instr = Minup_core.Instr
+module Wire = Minup_core.Wire
 module Trace = Minup_obs.Trace
 module Metrics = Minup_obs.Metrics
 module Obs_clock = Minup_obs.Clock
@@ -182,9 +184,10 @@ let solve_cmd lattice_path policy_path bounds events check_minimal explain
   let solution =
     with_obs obs (fun () ->
         let s =
-          if bounds = [] then Solver.solve ~on_event problem
+          let config = Solver.Config.make ~on_event () in
+          if bounds = [] then Solver.solve ~config problem
           else
-            match Solver.solve_with_bounds ~on_event problem bounds with
+            match Solver.solve_with_bounds ~config problem bounds with
             | Ok s -> s
             | Error i ->
                 prerr_endline
@@ -300,16 +303,17 @@ let batch_cmd lattice_path policy_paths jobs show_stats deadline_ms max_steps
                    match outcome with
                    | Ok _ -> None
                    | Error f ->
+                       (* One Wire envelope per failed task — the same
+                          versioned shape serve responses use. *)
                        Some
-                         (Json.Obj
-                            [
-                              ("task", Json.Num (float_of_int i));
-                              ("policy", Json.Str (List.nth policy_paths i));
-                              ( "attempts",
-                                Json.Num
-                                  (float_of_int report.Engine.attempts.(i)) );
-                              ("fault", Minup_core.Fault.to_json f);
-                            ])))
+                         (Wire.to_json
+                            (Wire.v1 ~problem:(List.nth policy_paths i)
+                               (Wire.Fault
+                                  {
+                                    fault = f;
+                                    attempts = report.Engine.attempts.(i);
+                                    task = Some i;
+                                  })))))
       in
       let json = Json.to_string ~pretty:true doc ^ "\n" in
       if path = "-" then print_string json
@@ -501,8 +505,9 @@ let events_arg =
     value & flag
     & info [ "events" ]
         ~doc:
-          "Print the Fig. 2(b)-style execution trace (consider/assign/try \
-           events) to stderr.")
+          "Print the Fig. 2(b)-style event log (consider/assign/try events) \
+           to stderr.  Distinct from $(b,--trace), which writes a Chrome \
+           trace-event file.")
 
 (* Observability flags shared by solve and batch. *)
 let obs_term =
@@ -652,6 +657,54 @@ let batch_t =
       $ deadline_arg $ max_steps_arg $ retries_arg $ backoff_arg
       $ keep_going_arg $ failures_json_arg $ obs_term)
 
+let serve_t =
+  let max_sessions_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Cap on concurrently held sessions; opening one beyond the cap \
+             evicts the least recently used.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-resolve wall-clock budget; a request's \
+             $(i,deadline_ms) field overrides it.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Default per-resolve scheduling-step budget; a request's \
+             $(i,max_steps) field overrides it.")
+  in
+  (* The loop reads NDJSON requests from stdin and answers one versioned
+     Wire envelope per line on stdout (see Minup_session.Serve for the
+     protocol); budgets given here are connection-wide defaults. *)
+  let serve_cmd max_sessions deadline_ms max_steps obs =
+    let conn =
+      Minup_session.Serve.create ~max_sessions ?deadline_ms ?max_steps ()
+    in
+    with_obs obs (fun () ->
+        Minup_session.Serve.run conn stdin stdout;
+        ((), Instr.create ()))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Hold solving sessions over stdio: one JSON request per line in, \
+          one JSON response envelope per line out.  Sessions re-solve \
+          incrementally as constraints and bounds change.")
+    Term.(
+      const serve_cmd $ max_sessions_arg $ deadline_arg $ max_steps_arg
+      $ obs_term)
+
 let check_t =
   let assignment_arg =
     Arg.(
@@ -771,7 +824,7 @@ let main =
        ~doc:
          "Minimal data upgrading to prevent inference and association attacks \
           (Dawson, De Capitani di Vimercati, Lincoln, Samarati — PODS 1999).")
-    [ solve_t; batch_t; check_t; stats_t; dot_t; selfcheck_t; demo_t ]
+    [ solve_t; batch_t; serve_t; check_t; stats_t; dot_t; selfcheck_t; demo_t ]
 
 let () =
   (* SIGINT raises [Sys.Break] instead of killing the process outright, so

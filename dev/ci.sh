@@ -21,8 +21,54 @@ dune exec dev/validate_trace.exe -- "$obs_tmp/trace.json"
 dune exec dev/validate_trace.exe -- --json "$obs_tmp/metrics.json"
 
 # Differential self-check: a pinned-seed bounded run of the property
-# harness (solver vs oracle/baselines/round-trips across all backends).
-dune exec -- mlsclassify selfcheck --seed 42 --cases 60 --jobs 2
+# harness (solver vs oracle/baselines/round-trips across all backends),
+# which must include the session delta-parity and wire round-trip checks.
+selfcheck_out=$(dune exec -- mlsclassify selfcheck --seed 42 --cases 60 --jobs 2)
+echo "$selfcheck_out"
+echo "$selfcheck_out" | grep -Eq 'checks:.* session=[1-9]' || {
+  echo "ci: selfcheck did not exercise the session property" >&2
+  exit 1
+}
+echo "$selfcheck_out" | grep -Eq 'checks:.* wire=[1-9]' || {
+  echo "ci: selfcheck did not exercise the wire round-trip property" >&2
+  exit 1
+}
+
+# Serve smoke: an NDJSON session over stdio — a solve, a budget fault
+# (max_steps: 0 trips on the first step), and an infeasible bounded
+# resolve must each answer with the matching versioned envelope, and the
+# loop must survive all three plus a trailing garbage line.
+serve_out=$(printf '%s\n' \
+  '{"op":"open","problem":"ci","lattice":"levels Public, Secret\nPublic < Secret\n","constraints":"secret >= Secret\n{name, salary} >= secret\n"}' \
+  '{"op":"resolve","problem":"ci"}' \
+  '{"op":"set_lower_bound","problem":"ci","attr":"name","level":"Secret"}' \
+  '{"op":"resolve","problem":"ci","max_steps":0}' \
+  '{"op":"resolve","problem":"ci","bounds":{"secret":"Public"}}' \
+  '{"op":"resolve","problem":"ci"}' \
+  'bogus' \
+  | dune exec -- mlsclassify serve)
+echo "$serve_out"
+test "$(echo "$serve_out" | wc -l)" = 7 || {
+  echo "ci: serve answered the wrong number of envelopes" >&2
+  exit 1
+}
+echo "$serve_out" | grep -q '"status":"ok".*"solution"' || {
+  echo "ci: serve produced no solution envelope" >&2
+  exit 1
+}
+echo "$serve_out" | grep -q '"status":"fault".*"kind":"budget"' || {
+  echo "ci: serve did not answer the over-budget resolve with a fault" >&2
+  exit 1
+}
+echo "$serve_out" | grep -q '"status":"infeasible"' || {
+  echo "ci: serve did not flag the conflicting bounds as infeasible" >&2
+  exit 1
+}
+echo "$serve_out" | grep -q '"status":"error"' || {
+  echo "ci: serve did not answer the garbage line with an error" >&2
+  exit 1
+}
+echo "ci: serve smoke OK (ok / fault / infeasible / error envelopes)"
 
 # Fault-injection gate: planting an unexpected runtime fault of each kind
 # (raise / virtual-clock stall / step-budget blowout) into the supervised
@@ -61,5 +107,17 @@ awk "BEGIN { exit !($overhead <= 2.0) }" || {
   exit 1
 }
 echo "ci: supervision overhead ${overhead}% (budget 2%)"
+
+# Session incrementality gate: single-constraint deltas on an acyclic
+# problem must resolve at least 2x faster through a session than a
+# from-scratch compile-and-solve (the experiment also re-checks that
+# every incremental resolve equals the scratch solution bit for bit).
+dune exec bench/main.exe -- session-incremental
+speedup=$(sed -n 's/.*"median_speedup": \([-0-9.e+]*\),.*/\1/p' BENCH_PR5.json | tail -n 1)
+awk "BEGIN { exit !($speedup >= 2.0) }" || {
+  echo "ci: session incremental speedup ${speedup}x below the 2x floor" >&2
+  exit 1
+}
+echo "ci: session incremental speedup ${speedup}x (floor 2x)"
 
 echo "ci: OK"

@@ -43,7 +43,7 @@ let () =
       in
       (* The compartmented lattice admits the direct Minlevel computation
          of footnote 4. *)
-      let solution = Solver.solve ~residual:Compartment.residual problem in
+      let solution = Solver.solve ~config:(Solver.Config.make ~residual:Compartment.residual ()) problem in
       print_endline "minimal classification (access classes):";
       List.iter
         (fun (attr, l) ->

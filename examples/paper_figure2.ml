@@ -32,7 +32,9 @@ let () =
   let pp_level l = Explicit.level_to_string lattice l in
   let solution =
     Solver.solve
-      ~on_event:(fun e ->
+      ~config:
+        (Solver.Config.make
+           ~on_event:(fun e ->
         match e with
         | Solver.Consider { attr; priority } ->
             Printf.printf "  consider %s (priority %d)\n" attr priority
@@ -46,6 +48,7 @@ let () =
                  (List.map (fun (a, v) -> Printf.sprintf "%s→%s" a (pp_level v)) l))
         | Solver.Finalized { attr; level } ->
             Printf.printf "    done: λ(%s) = %s\n" attr (pp_level level))
+           ())
       problem
   in
 

@@ -144,6 +144,16 @@ let cst_to_source p c =
       | Rlevel l -> Cst.Level l
       | Rattr a -> Cst.Attr (attr_name p a))
 
+let set_rlevel p ci l =
+  if ci < 0 || ci >= Array.length p.csts then
+    invalid_arg "Problem.set_rlevel: constraint index out of range";
+  (match p.csts.(ci).rhs with
+  | Rlevel _ -> ()
+  | Rattr _ -> invalid_arg "Problem.set_rlevel: rhs is an attribute");
+  let csts = Array.copy p.csts in
+  csts.(ci) <- { csts.(ci) with rhs = Rlevel l };
+  { p with csts }
+
 let is_acyclic p =
   let n = n_attrs p in
   (* colors: 0 unvisited, 1 on stack, 2 done *)

@@ -198,7 +198,10 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
             Some (fun _ev -> h ~charge ~warp_ms)
       in
       match
-        Solver.solve ?on_event ?residual ?upgrade_preference ?budget
+        Solver.solve
+          ~config:
+            (Solver.Config.make ?on_event ?residual ?upgrade_preference
+               ?budget ())
           problems.(i)
       with
       | s ->

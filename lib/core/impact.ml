@@ -39,8 +39,9 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
         match S.compile ~lattice ?attrs (base @ added) with
         | Error _ as e -> e
         | Ok p1 ->
-            let s0 = S.solve ?upgrade_preference p0 in
-            let s1 = S.solve ?upgrade_preference p1 in
+            let config = S.Config.make ?upgrade_preference () in
+            let s0 = S.solve ~config p0 in
+            let s1 = S.solve ~config p1 in
             let changes =
               diff lattice ~before:s0.S.assignment ~after:s1.S.assignment
             in

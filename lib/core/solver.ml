@@ -93,13 +93,45 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
 
   exception Try_failed
 
-  (* The whole algorithm, shared between the plain (§§3–5) and the
-     upper-bound (§6) modes.  [init] gives the starting level of every
-     attribute (⊤, or the derived upper bound); [bounds_mode] forces
-     Minlevel to run for every attribute of every complex constraint. *)
-  let solve_internal ?(on_event = fun _ -> ()) ?residual ?upgrade_preference
-      ?(check_aggregate = false) ?budget ~init ~bounds_mode { lat; prob; prio }
-      =
+  module Config = struct
+    type t = {
+      on_event : (event -> unit) option;
+      residual : (L.t -> target:L.level -> others:L.level -> L.level) option;
+      upgrade_preference : (string -> int) option;
+      check_aggregate : bool;
+      budget : budget option;
+    }
+
+    let default =
+      {
+        on_event = None;
+        residual = None;
+        upgrade_preference = None;
+        check_aggregate = false;
+        budget = None;
+      }
+
+    let make ?on_event ?residual ?upgrade_preference ?(check_aggregate = false)
+        ?budget () =
+      { on_event; residual; upgrade_preference; check_aggregate; budget }
+  end
+
+  (* The whole algorithm, shared between the plain (§§3–5), upper-bound
+     (§6) and incremental re-solve modes.  [init] gives the starting level
+     of every attribute (⊤, or the derived upper bound); [bounds_mode]
+     forces Minlevel to run for every attribute of every complex
+     constraint; [frozen] pins attributes at known-final levels (the
+     incremental path — see {!solve_incremental} for the contract). *)
+  let solve_internal ~(config : Config.t) ?frozen ~init ~bounds_mode
+      { lat; prob; prio } =
+    let on_event = match config.Config.on_event with
+      | None -> fun _ -> ()
+      | Some f -> f
+    in
+    let residual = config.Config.residual in
+    let upgrade_preference = config.Config.upgrade_preference in
+    let check_aggregate = config.Config.check_aggregate in
+    let budget = config.Config.budget in
     let n = Problem.n_attrs prob in
     let csts = prob.Problem.csts in
     let stats = Instr.create () in
@@ -268,6 +300,32 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
     let rhs_done (c : _ Problem.cst) =
       match c.rhs with Problem.Rlevel _ -> true | Problem.Rattr b -> done_.(b)
     in
+    (* Incremental mode: pin the frozen attributes before the Bigloop —
+       their levels are final, they count as labeled for every constraint
+       they appear in (so [unlabeled] and the lhs-lub aggregates see them
+       exactly as if the Bigloop had just finalized them), and the Bigloop
+       skips them outright.  On the non-incremental path [skip] stays
+       all-false and costs one array read per attribute visit. *)
+    let skip = Array.make n false in
+    (match frozen with
+    | None -> ()
+    | Some f ->
+        for a = 0 to n - 1 do
+          match f a with
+          | None -> ()
+          | Some l ->
+              skip.(a) <- true;
+              done_.(a) <- true;
+              lam.(a) <- l;
+              List.iter
+                (fun ci ->
+                  if prob.Problem.complex.(ci) then
+                    unlabeled.(ci) <- unlabeled.(ci) - 1)
+                prob.Problem.constr_of.(a)
+        done;
+        for a = 0 to n - 1 do
+          if skip.(a) then finalize a
+        done);
     (* The pre-aggregate computation of "lub of the other lhs members": a
        full refold of the constraint's lhs.  Kept as the reference the
        incremental aggregate is checked against (uninstrumented, so
@@ -510,6 +568,8 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
           "scc";
       Array.iter
         (fun a ->
+          if skip.(a) then ()
+          else begin
           check_fine ();
           on_event (Consider { attr = attr_name a; priority = p });
           let t_attr0 = if tracing then Clock.now_ns () else 0L in
@@ -607,6 +667,7 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
                 Metrics.observe iters_h try_iters
             | None -> ());
             on_event (Finalized { attr = attr_name a; level = lam.(a) })
+          end
           end)
         members;
       if scc_span then Trace.end_span ~cat:"solver" "scc")
@@ -653,13 +714,20 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
         Trace.unwind_to depth;
         Printexc.raise_with_backtrace e bt
 
-  let solve ?on_event ?residual ?upgrade_preference ?check_aggregate ?budget
-      ({ lat; _ } as problem) =
+  let solve ?(config = Config.default) ({ lat; _ } as problem) =
     with_balanced_spans (fun () ->
-        solve_internal ?on_event ?residual ?upgrade_preference ?check_aggregate
-          ?budget
+        solve_internal ~config
           ~init:(fun _ -> L.top lat)
           ~bounds_mode:false problem)
+
+  let solve_incremental ?(config = Config.default) ~frozen
+      ({ lat; _ } as problem) =
+    with_balanced_spans (fun () ->
+        solve_internal ~config ~frozen
+          ~init:(fun _ -> L.top lat)
+          ~bounds_mode:false problem)
+
+  let reuse_priorities problem prob = { problem with prob }
 
   let find problem solution attr =
     match Problem.attr_id problem.prob attr with
@@ -741,15 +809,31 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
       Ok ub
     with Inconsistent i -> Error i
 
-  let solve_with_bounds ?on_event ?residual ?upgrade_preference ?check_aggregate
-      ?budget problem bounds =
+  let solve_with_bounds ?(config = Config.default) problem bounds =
     match derive_upper_bounds problem bounds with
     | Error _ as e -> e
     | Ok ub ->
         Ok
           (with_balanced_spans (fun () ->
-               solve_internal ?on_event ?residual ?upgrade_preference
-                 ?check_aggregate ?budget
+               solve_internal ~config
                  ~init:(fun a -> ub.(a))
                  ~bounds_mode:true problem))
+
+  (* Transition wrappers for the pre-Config optional-argument API
+     (deprecated in the mli; dropped after one release). *)
+  let solve_args ?on_event ?residual ?upgrade_preference ?check_aggregate
+      ?budget problem =
+    solve
+      ~config:
+        (Config.make ?on_event ?residual ?upgrade_preference ?check_aggregate
+           ?budget ())
+      problem
+
+  let solve_with_bounds_args ?on_event ?residual ?upgrade_preference
+      ?check_aggregate ?budget problem bounds =
+    solve_with_bounds
+      ~config:
+        (Config.make ?on_event ?residual ?upgrade_preference ?check_aggregate
+           ?budget ())
+      problem bounds
 end

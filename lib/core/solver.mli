@@ -123,36 +123,93 @@ module Make (L : Minup_lattice.Lattice_intf.S) : sig
       steps only notices its deadline at that final poll. *)
   exception Cancelled of { reason : cancel_reason; progress : progress }
 
-  (** [solve ?on_event ?residual ?upgrade_preference problem].
+  (** {2 Configuration}
 
-      [residual], when provided, replaces the [Minlevel] lattice walk with a
-      direct computation of the least level [m] such that
-      [lub m others ⊒ target] (footnote 4; see e.g.
-      {!Minup_lattice.Compartment.residual}).  It must agree with that
-      specification or minimality is lost.
+      Every knob of a solve — the event stream, the lattice shortcuts, the
+      schedule bias, the self-check toggle, the budget — lives in one
+      {!Config.t} record instead of a trail of optional arguments.  Build
+      one with {!Config.make} (or update {!Config.default}) and pass it to
+      {!solve} / {!solve_with_bounds} / {!solve_incremental}. *)
 
-      [upgrade_preference] biases {e which} minimal solution is returned:
-      when a complex constraint leaves a choice of attribute to upgrade,
-      attributes with a higher preference value are favored as upgrade
-      targets (§3.1 notes the particular minimal solution depends on the
-      order of constraint evaluation; this exposes that order).  The
-      preference selects among the valid sink-first schedules of the SCC
-      condensation, so the result is a minimal solution either way; it is
-      best-effort where the constraint structure forces an order (an
-      attribute can only absorb an upgrade if it is not required before
-      its left-hand-side peers).
+  module Config : sig
+    type t = {
+      on_event : (event -> unit) option;
+          (** trace callback, invoked in execution order *)
+      residual : (L.t -> target:L.level -> others:L.level -> L.level) option;
+          (** replaces the [Minlevel] lattice walk with a direct
+              computation of the least level [m] such that
+              [lub m others ⊒ target] (footnote 4; see e.g.
+              {!Minup_lattice.Compartment.residual}).  It must agree with
+              that specification or minimality is lost. *)
+      upgrade_preference : (string -> int) option;
+          (** biases {e which} minimal solution is returned: when a complex
+              constraint leaves a choice of attribute to upgrade,
+              attributes with a higher preference value are favored as
+              upgrade targets (§3.1 notes the particular minimal solution
+              depends on the order of constraint evaluation; this exposes
+              that order).  The preference selects among the valid
+              sink-first schedules of the SCC condensation, so the result
+              is a minimal solution either way; it is best-effort where
+              the constraint structure forces an order. *)
+      check_aggregate : bool;
+          (** cross-check, at every [Minlevel] call, the incremental
+              lhs-lub aggregate against the reference refold of the whole
+              left-hand side, raising [Invalid_argument] on the first
+              divergence.  The reference fold is uninstrumented, so the
+              returned {!Instr} counters are unaffected.  For tests. *)
+      budget : budget option;
+          (** bounds the solve (see {!type-budget}); the solve raises
+              {!Cancelled} if it is exceeded.  Without a budget the hot
+              path is unchanged — no clock reads, no step counting, and
+              bit-identical {!Instr} counters. *)
+    }
 
-      [check_aggregate] (default [false]) cross-checks, at every [Minlevel]
-      call, the incremental lhs-lub aggregate against the reference refold
-      of the whole left-hand side, raising [Invalid_argument] on the first
-      divergence.  The reference fold is uninstrumented, so the returned
-      {!Instr} counters are unaffected.  Intended for tests.
+    (** No events, no residual, no preference, no self-check, no budget. *)
+    val default : t
 
-      [budget], when provided, bounds the solve (see {!type-budget}); the
-      solve raises {!Cancelled} if it is exceeded.  Without a budget the
-      hot path is unchanged — no clock reads, no step counting, and
-      bit-identical {!Instr} counters. *)
-  val solve :
+    val make :
+      ?on_event:(event -> unit) ->
+      ?residual:(L.t -> target:L.level -> others:L.level -> L.level) ->
+      ?upgrade_preference:(string -> int) ->
+      ?check_aggregate:bool ->
+      ?budget:budget ->
+      unit ->
+      t
+  end
+
+  (** [solve ?config problem] — Algorithm 3.1 under [config]
+      (default {!Config.default}). *)
+  val solve : ?config:Config.t -> problem -> solution
+
+  (** [solve_incremental ?config ~frozen problem] — like {!solve}, but
+      attributes for which [frozen] returns [Some l] are pinned at [l]:
+      they are finalized up front (feeding the lhs-lub aggregates of their
+      complex constraints), skipped by the [Bigloop], and emit no events.
+
+      This is the re-solve primitive behind [Minup_session]: the caller
+      promises that every frozen level is exactly what a full {!solve} of
+      this problem would compute, that the non-frozen attributes are
+      dependency-closed (no frozen attribute's level depends on a
+      non-frozen one) and acyclic.  Under that contract the result is
+      bit-identical in [levels] to a full solve; outside it the result is
+      unspecified.  The returned [stats] count only the work actually
+      performed. *)
+  val solve_incremental :
+    ?config:Config.t -> frozen:(int -> L.level option) -> problem -> solution
+
+  (** [reuse_priorities problem prob'] rebuilds the compiled problem around
+      [prob'] while keeping the already-computed priorities — sound only
+      when the constraint {e graph} is unchanged (same attributes, same
+      lhs → rhs-attribute edges), e.g. when only level right-hand sides
+      were replaced via {!Minup_constraints.Problem.set_rlevel}.
+      Unchecked: with a structurally different [prob'] the solve result is
+      unspecified. *)
+  val reuse_priorities :
+    problem -> L.level Minup_constraints.Problem.t -> problem
+
+  (** Transition wrapper for the pre-{!Config} optional-argument API;
+      removed after one release. *)
+  val solve_args :
     ?on_event:(event -> unit) ->
     ?residual:(L.t -> target:L.level -> others:L.level -> L.level) ->
     ?upgrade_preference:(string -> int) ->
@@ -160,6 +217,7 @@ module Make (L : Minup_lattice.Lattice_intf.S) : sig
     ?budget:budget ->
     problem ->
     solution
+  [@@ocaml.deprecated "use solve ?config with Solver.Make(L).Config.t"]
 
   (** [find problem solution attr]. *)
   val find : problem -> solution -> string -> L.level option
@@ -195,6 +253,14 @@ module Make (L : Minup_lattice.Lattice_intf.S) : sig
       as satisfaction can no longer be assumed while a left-hand side
       neighbour is unlabeled). *)
   val solve_with_bounds :
+    ?config:Config.t ->
+    problem ->
+    (string * L.level) list ->
+    (solution, inconsistency) result
+
+  (** Transition wrapper for the pre-{!Config} optional-argument API;
+      removed after one release. *)
+  val solve_with_bounds_args :
     ?on_event:(event -> unit) ->
     ?residual:(L.t -> target:L.level -> others:L.level -> L.level) ->
     ?upgrade_preference:(string -> int) ->
@@ -203,4 +269,6 @@ module Make (L : Minup_lattice.Lattice_intf.S) : sig
     problem ->
     (string * L.level) list ->
     (solution, inconsistency) result
+  [@@ocaml.deprecated
+    "use solve_with_bounds ?config with Solver.Make(L).Config.t"]
 end

@@ -1,0 +1,143 @@
+module Json = Minup_obs.Json
+
+type body =
+  | Solution of { assignment : (string * string) list; stats : Instr.t option }
+  | Fault of { fault : Fault.t; attempts : int; task : int option }
+  | Infeasible of { detail : string }
+  | Error of { detail : string }
+  | Ack of { id : int option }
+
+type t = { v : int; problem : string option; body : body }
+
+let v1 ?problem body = { v = 1; problem; body }
+
+let status t =
+  match t.body with
+  | Solution _ | Ack _ -> "ok"
+  | Fault _ -> "fault"
+  | Infeasible _ -> "infeasible"
+  | Error _ -> "error"
+
+let equal a b = a = b
+
+let to_json t =
+  let body_fields =
+    match t.body with
+    | Solution { assignment; stats } ->
+        ( "solution",
+          Json.Obj (List.map (fun (a, l) -> (a, Json.Str l)) assignment) )
+        ::
+        (match stats with
+        | None -> []
+        | Some st -> [ ("stats", Instr.to_json st) ])
+    | Fault { fault; attempts; task } ->
+        (match task with
+        | None -> []
+        | Some i -> [ ("task", Json.Num (float_of_int i)) ])
+        @ [
+            ("attempts", Json.Num (float_of_int attempts));
+            ("fault", Fault.to_json fault);
+          ]
+    | Infeasible { detail } | Error { detail } -> [ ("detail", Json.Str detail) ]
+    | Ack { id } -> (
+        match id with
+        | None -> []
+        | Some i -> [ ("id", Json.Num (float_of_int i)) ])
+  in
+  Json.Obj
+    (("v", Json.Num (float_of_int t.v))
+    :: ("status", Json.Str (status t))
+    :: ((match t.problem with
+        | None -> []
+        | Some p -> [ ("problem", Json.Str p) ])
+       @ body_fields))
+
+let as_int name j =
+  match j with
+  | Json.Num f when Float.is_integer f -> Stdlib.Ok (int_of_float f)
+  | _ -> Stdlib.Error (Printf.sprintf "Wire.of_json: %S is not an integer" name)
+
+let opt_int name doc =
+  match Json.member name doc with
+  | None -> Stdlib.Ok None
+  | Some j -> Result.map Option.some (as_int name j)
+
+let req_str name doc =
+  match Json.member name doc with
+  | Some (Json.Str s) -> Stdlib.Ok s
+  | _ -> Stdlib.Error (Printf.sprintf "Wire.of_json: missing string %S" name)
+
+let ( let* ) = Result.bind
+
+let of_json doc =
+  match doc with
+  | Json.Obj _ -> (
+      let* v =
+        match Json.member "v" doc with
+        | Some j -> as_int "v" j
+        | None -> Stdlib.Error "Wire.of_json: missing version field \"v\""
+      in
+      if v <> 1 then
+        Stdlib.Error (Printf.sprintf "Wire.of_json: unsupported version %d" v)
+      else
+        let* st = req_str "status" doc in
+        let* problem =
+          match Json.member "problem" doc with
+          | None -> Stdlib.Ok None
+          | Some (Json.Str p) -> Stdlib.Ok (Some p)
+          | Some _ -> Stdlib.Error "Wire.of_json: \"problem\" is not a string"
+        in
+        let* body =
+          match st with
+          | "ok" -> (
+              match Json.member "solution" doc with
+              | Some (Json.Obj fields) ->
+                  let* assignment =
+                    List.fold_left
+                      (fun acc (a, j) ->
+                        let* acc = acc in
+                        match j with
+                        | Json.Str l -> Stdlib.Ok ((a, l) :: acc)
+                        | _ ->
+                            Stdlib.Error
+                              (Printf.sprintf
+                                 "Wire.of_json: level of %S is not a string" a))
+                      (Stdlib.Ok []) fields
+                  in
+                  let assignment = List.rev assignment in
+                  let* stats =
+                    match Json.member "stats" doc with
+                    | None -> Stdlib.Ok None
+                    | Some j -> Result.map Option.some (Instr.of_json j)
+                  in
+                  Stdlib.Ok (Solution { assignment; stats })
+              | Some _ ->
+                  Stdlib.Error "Wire.of_json: \"solution\" is not an object"
+              | None ->
+                  let* id = opt_int "id" doc in
+                  Stdlib.Ok (Ack { id }))
+          | "fault" ->
+              let* fault =
+                match Json.member "fault" doc with
+                | Some j -> Fault.of_json j
+                | None -> Stdlib.Error "Wire.of_json: missing \"fault\""
+              in
+              let* attempts =
+                match Json.member "attempts" doc with
+                | Some j -> as_int "attempts" j
+                | None -> Stdlib.Error "Wire.of_json: missing \"attempts\""
+              in
+              let* task = opt_int "task" doc in
+              Stdlib.Ok (Fault { fault; attempts; task })
+          | "infeasible" ->
+              let* detail = req_str "detail" doc in
+              Stdlib.Ok (Infeasible { detail })
+          | "error" ->
+              let* detail = req_str "detail" doc in
+              Stdlib.Ok (Error { detail })
+          | other ->
+              Stdlib.Error
+                (Printf.sprintf "Wire.of_json: unknown status %S" other)
+        in
+        Stdlib.Ok { v; problem; body })
+  | _ -> Stdlib.Error "Wire.of_json: expected an object"

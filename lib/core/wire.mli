@@ -1,0 +1,43 @@
+(** Versioned response envelopes for the JSON-facing surfaces.
+
+    Every machine-readable answer the tool emits — a [serve] response
+    line, an entry of [batch --failures-json], a selfcheck repro
+    descriptor — is one {!t}: a version tag, an optional problem name,
+    and a body.  The JSON shape is
+    [{"v": 1, "status": ..., ...body fields}], where [status] is one of
+    ["ok"], ["fault"], ["infeasible"] or ["error"].  Consumers dispatch
+    on [v] and [status] only; producers never hand-build response
+    objects, so the three surfaces cannot drift apart.
+
+    {!of_json} inverts {!to_json} exactly (the battery's [wire] property
+    checks the round-trip through rendering and parsing), and rejects
+    any version other than 1. *)
+
+type body =
+  | Solution of { assignment : (string * string) list; stats : Instr.t option }
+      (** a successful solve: attribute -> level-string, in attribute-id
+          order, plus optional operation counters *)
+  | Fault of { fault : Fault.t; attempts : int; task : int option }
+      (** a supervised task that kept failing; [task] is its batch index
+          when the envelope describes one task of a batch *)
+  | Infeasible of { detail : string }
+      (** the instance admits no solution (conflicting lower bounds) *)
+  | Error of { detail : string }
+      (** the request itself is bad: parse error, unknown op, unknown
+          session, … *)
+  | Ack of { id : int option }
+      (** a mutation was applied; [id] is the fresh constraint id for
+          [add_constraint] *)
+
+type t = { v : int; problem : string option; body : body }
+
+(** Version-1 envelope. *)
+val v1 : ?problem:string -> body -> t
+
+(** The [status] string of the envelope: ["ok"] for {!Solution} and
+    {!Ack}, ["fault"], ["infeasible"] or ["error"] for the others. *)
+val status : t -> string
+
+val equal : t -> t -> bool
+val to_json : t -> Minup_obs.Json.t
+val of_json : Minup_obs.Json.t -> (t, string) result

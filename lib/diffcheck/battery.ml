@@ -1,7 +1,10 @@
 module Cst = Minup_constraints.Cst
 module Parse = Minup_constraints.Parse
 module Instr = Minup_core.Instr
+module Wire = Minup_core.Wire
+module Fault = Minup_core.Fault
 module Json = Minup_obs.Json
+module Prng = Minup_workload.Prng
 
 type mutation = Overclassify | Underclassify
 
@@ -19,6 +22,8 @@ type counters = {
   mutable json_rt : int;
   mutable bounded_ok : int;
   mutable bounded_infeasible : int;
+  mutable session : int;
+  mutable wire : int;
 }
 
 let zero () =
@@ -36,6 +41,8 @@ let zero () =
     json_rt = 0;
     bounded_ok = 0;
     bounded_infeasible = 0;
+    session = 0;
+    wire = 0;
   }
 
 let add into c =
@@ -51,7 +58,9 @@ let add into c =
   into.parse_rt <- into.parse_rt + c.parse_rt;
   into.json_rt <- into.json_rt + c.json_rt;
   into.bounded_ok <- into.bounded_ok + c.bounded_ok;
-  into.bounded_infeasible <- into.bounded_infeasible + c.bounded_infeasible
+  into.bounded_infeasible <- into.bounded_infeasible + c.bounded_infeasible;
+  into.session <- into.session + c.session;
+  into.wire <- into.wire + c.wire
 
 let to_alist c =
   [
@@ -67,6 +76,8 @@ let to_alist c =
     ("json", c.json_rt);
     ("bounded_ok", c.bounded_ok);
     ("bounded_infeasible", c.bounded_infeasible);
+    ("session", c.session);
+    ("wire", c.wire);
   ]
 
 type failure = { property : string; detail : string }
@@ -85,6 +96,125 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
   module Engine = Minup_core.Engine.Make (L)
   module Backtrack = Minup_baselines.Backtrack.Make (L)
   module Qian = Minup_baselines.Qian.Make (L)
+  module Sess = Minup_session.Session.Make (L)
+
+  (* One step of the session property's replayable delta sequence.
+     Deltas only ever reference the case's original attributes, so every
+     subsequence is well-formed — which is what makes shrinking sound. *)
+  type delta =
+    | D_add of L.level Cst.t
+    | D_remove of int
+    | D_bound of string * L.level option
+    | D_attr of string
+
+  let delta_descr lat = function
+    | D_add c ->
+        let rhs =
+          match c.Cst.rhs with
+          | Cst.Attr a -> a
+          | Cst.Level l -> L.level_to_string lat l
+        in
+        Printf.sprintf "add {%s} >= %s" (String.concat "," c.Cst.lhs) rhs
+    | D_remove id -> Printf.sprintf "remove #%d" id
+    | D_bound (a, Some l) ->
+        Printf.sprintf "bound %s >= %s" a (L.level_to_string lat l)
+    | D_bound (a, None) -> Printf.sprintf "clear %s" a
+    | D_attr a -> Printf.sprintf "attr %s" a
+
+  let session_deltas rng ~lat ~attrs ~csts =
+    let pool =
+      L.bottom lat :: L.top lat
+      :: List.filter_map
+           (fun (c : L.level Cst.t) ->
+             match c.Cst.rhs with Cst.Level l -> Some l | Cst.Attr _ -> None)
+           csts
+    in
+    let n0 = List.length csts in
+    List.init 8 (fun k ->
+        match Prng.int rng 6 with
+        | 0 | 1 -> D_bound (Prng.pick rng attrs, Some (Prng.pick rng pool))
+        | 2 -> D_bound (Prng.pick rng attrs, None)
+        | 3 -> (
+            let lhs = Prng.sample rng (1 + Prng.int rng 2) attrs in
+            let rhs =
+              if Prng.bool rng then Cst.Level (Prng.pick rng pool)
+              else Cst.Attr (Prng.pick rng attrs)
+            in
+            match Cst.make ~lhs ~rhs with
+            | Ok c -> D_add c
+            | Error _ -> D_bound (Prng.pick rng attrs, None))
+        | 4 when n0 > 0 ->
+            (* Ids [0, n0) name the initial constraints, later ids the
+               D_adds before this step; an id that was never assigned (or
+               already removed) makes the delta a harmless no-op. *)
+            D_remove (Prng.int rng (n0 + k))
+        | _ -> D_attr (Printf.sprintf "zz%d" k))
+
+  let apply_delta sess = function
+    | D_add c -> ignore (Sess.add_constraint sess c : int)
+    | D_remove id -> ignore (Sess.remove_constraint sess id : bool)
+    | D_bound (a, l) -> Sess.set_lower_bound sess a l
+    | D_attr a -> Sess.add_attribute sess a
+
+  (* Replay [create; check; (delta; check)*] where each check resolves
+     the session and demands bit-identical levels from a from-scratch
+     compile-and-solve of the snapshot.  Returns the first failure as a
+     detail string, [None] when the replay is parity-clean. *)
+  let session_failure ~lat ~attrs ~csts deltas =
+    let check sess step =
+      let inc = Sess.resolve sess in
+      let attrs', csts' = Sess.snapshot sess in
+      match S.compile ~lattice:lat ~attrs:attrs' csts' with
+      | Error e ->
+          Some
+            (Format.asprintf "step %d: snapshot rejected: %a" step
+               Minup_constraints.Problem.pp_error e)
+      | Ok p ->
+          let fresh = S.solve p in
+          let a = inc.Sess.Solver.levels and b = fresh.S.levels in
+          let same =
+            Array.length a = Array.length b
+            && begin
+                 let ok = ref true in
+                 Array.iteri
+                   (fun i l -> if not (L.equal lat l b.(i)) then ok := false)
+                   a;
+                 !ok
+               end
+          in
+          if same then None
+          else
+            Some
+              (Printf.sprintf
+                 "step %d: incremental resolve differs from scratch solve" step)
+    in
+    try
+      let sess = Sess.create ~lattice:lat ~attrs csts in
+      match check sess 0 with
+      | Some _ as f -> f
+      | None ->
+          let rec go step = function
+            | [] -> None
+            | d :: rest -> (
+                apply_delta sess d;
+                match check sess step with
+                | Some _ as f -> f
+                | None -> go (step + 1) rest)
+          in
+          go 1 deltas
+    with e -> Some ("exception: " ^ Printexc.to_string e)
+
+  (* Greedy one-at-a-time shrink: drop deltas while the replay still
+     fails. *)
+  let shrink_deltas ~lat ~attrs ~csts deltas =
+    let fails ds = session_failure ~lat ~attrs ~csts ds <> None in
+    let rec go ds i =
+      if i >= List.length ds then ds
+      else
+        let cand = List.filteri (fun j _ -> j <> i) ds in
+        if fails cand then go cand i else go ds (i + 1)
+    in
+    go deltas 0
 
   let mutate lat mutation levels =
     let levels = Array.copy levels in
@@ -428,6 +558,95 @@ module Make (L : Minup_lattice.Lattice_intf.S) = struct
                   if List.exists within sols then
                     fail "bounded"
                       "reported inconsistent, but an in-bounds solution exists")
-        end);
+        end;
+        (* Session delta parity: replay the case into a long-lived
+           {!Minup_session.Session}, apply a deterministic pseudo-random
+           delta sequence, and demand that every incremental [resolve]
+           is bit-identical to a from-scratch solve of the snapshot —
+           incrementality must never be visible in results. *)
+        if attrs <> [] then begin
+          counters.session <- counters.session + 1;
+          let key =
+            (11 * List.length csts) + (13 * List.length attrs)
+            + List.length bounds
+          in
+          let rng = Prng.create key in
+          let deltas = session_deltas rng ~lat ~attrs ~csts in
+          match session_failure ~lat ~attrs ~csts deltas with
+          | None -> ()
+          | Some _ ->
+              let shrunk = shrink_deltas ~lat ~attrs ~csts deltas in
+              let detail =
+                match session_failure ~lat ~attrs ~csts shrunk with
+                | Some d -> d
+                | None -> "failure did not survive shrinking"
+              in
+              fail "session"
+                (Printf.sprintf "after %d deltas [%s]: %s"
+                   (List.length shrunk)
+                   (String.concat "; " (List.map (delta_descr lat) shrunk))
+                   detail)
+        end;
+        (* Wire envelope round-trip: every response shape the serve loop
+           can emit, built from this case's data, must survive
+           to_json → to_string → parse → of_json, compact and pretty. *)
+        counters.wire <- counters.wire + 1;
+        let assignment =
+          List.map
+            (fun (a, l) -> (a, L.level_to_string lat l))
+            sol.S.assignment
+        in
+        let envelopes =
+          [
+            Wire.v1 (Wire.Solution { assignment; stats = Some sol.S.stats });
+            Wire.v1 ~problem:"battery"
+              (Wire.Solution { assignment; stats = None });
+            Wire.v1 ~problem:"battery"
+              (Wire.Fault
+                 {
+                   fault =
+                     Fault.Budget_exhausted
+                       {
+                         max_steps = List.length csts;
+                         steps = List.length attrs;
+                       };
+                   attempts = 2;
+                   task = Some 0;
+                 });
+            Wire.v1 (Wire.Infeasible { detail = "bounds conflict" });
+            Wire.v1 (Wire.Error { detail = "battery" });
+            Wire.v1 ~problem:"battery"
+              (Wire.Ack { id = Some (List.length csts) });
+            Wire.v1 (Wire.Ack { id = None });
+          ]
+        in
+        List.iter
+          (fun env ->
+            List.iter
+              (fun pretty ->
+                match Json.parse (Json.to_string ~pretty (Wire.to_json env)) with
+                | Error e ->
+                    fail "wire"
+                      (Printf.sprintf
+                         "serialized envelope rejected by Json.parse \
+                          (pretty:%b): %s"
+                         pretty e)
+                | Ok j -> (
+                    match Wire.of_json j with
+                    | Error e ->
+                        fail "wire"
+                          (Printf.sprintf
+                             "of_json rejected a to_json envelope (pretty:%b): \
+                              %s"
+                             pretty e)
+                    | Ok env' ->
+                        if not (Wire.equal env env') then
+                          fail "wire"
+                            (Printf.sprintf
+                               "envelope round-trip changed (status %s, \
+                                pretty:%b)"
+                               (Wire.status env) pretty)))
+              [ false; true ])
+          envelopes);
     List.rev !fails
 end

@@ -27,7 +27,17 @@
       preserves a document built from the solution (compact and pretty);
     - with bounds: a returned solution respects them and is still
       minimal; a reported inconsistency is confirmed against the
-      exhaustive oracle on small cases.
+      exhaustive oracle on small cases;
+    - a {!Minup_session.Session} fed a deterministic pseudo-random delta
+      sequence (add/remove constraint, set/clear lower bound, new
+      attribute) answers every [resolve] bit-identically to a
+      from-scratch compile-and-solve of its snapshot — incrementality
+      must never be visible in results.  A failing sequence is shrunk
+      to a minimal failing subsequence before being reported;
+    - {!Minup_core.Wire} envelopes built from the case (solution with
+      and without stats, fault, infeasible, error, acks) survive the
+      [to_json] → [to_string] → [parse] → [of_json] round trip, compact
+      and pretty.
 
     A {!mutation} injects a deliberate bug into the solver's output so
     the harness (and its shrinker) can be proven to catch one. *)
@@ -53,6 +63,8 @@ type counters = {
   mutable json_rt : int;
   mutable bounded_ok : int;
   mutable bounded_infeasible : int;
+  mutable session : int;
+  mutable wire : int;
 }
 
 val zero : unit -> counters

@@ -1,5 +1,7 @@
 open Minup_lattice
 module Cst = Minup_constraints.Cst
+module Wire = Minup_core.Wire
+module Json = Minup_obs.Json
 module Prng = Minup_workload.Prng
 module Gen = Minup_workload.Gen_constraints
 module Gen_lattice = Minup_workload.Gen_lattice
@@ -189,7 +191,7 @@ type failure_report = {
   detail : string;
   repro : Instance.t;
   mirrored : bool;
-  files : (string * string) option;
+  files : (string * string * string) option;
 }
 
 type summary = {
@@ -306,7 +308,21 @@ let run ?mutation ?fault ?repro_dir ~seed ~cases ~jobs () =
               let base = Filename.concat dir (Printf.sprintf "case%d" case.id) in
               write_file (base ^ ".lat") (Instance.lat_file ~header inst);
               write_file (base ^ ".cst") (Instance.cst_file ~header inst);
-              Some (base ^ ".lat", base ^ ".cst")
+              (* Machine-readable mirror of the finding, in the same
+                 versioned envelope the serve loop answers with. *)
+              let envelope =
+                Wire.v1
+                  ~problem:(Printf.sprintf "case%d" case.id)
+                  (Wire.Error
+                     {
+                       detail =
+                         Printf.sprintf "property=%s: %s" f.Battery.property
+                           f.Battery.detail;
+                     })
+              in
+              write_file (base ^ ".json")
+                (Json.to_string ~pretty:true (Wire.to_json envelope) ^ "\n");
+              Some (base ^ ".lat", base ^ ".cst", base ^ ".json")
         in
         {
           case = case.id;
@@ -357,7 +373,8 @@ let pp_summary ppf s =
         (List.length r.repro.Instance.bounds);
       match r.files with
       | None -> ()
-      | Some (lat, cst) -> Format.fprintf ppf "    wrote %s %s@." lat cst)
+      | Some (lat, cst, json) ->
+          Format.fprintf ppf "    wrote %s %s %s@." lat cst json)
     s.failures;
   if s.total_failures > List.length s.failures then
     Format.fprintf ppf "  (%d further failures not shown)@."

@@ -23,7 +23,9 @@ type failure_report = {
   detail : string;
   repro : Instance.t;  (** shrunk when the mirror reproduces the failure *)
   mirrored : bool;  (** the failure reproduces on the explicit mirror *)
-  files : (string * string) option;  (** written [.lat]/[.cst] paths *)
+  files : (string * string * string) option;
+      (** written [.lat]/[.cst]/[.json] paths — the [.json] holds the
+          finding as a {!Minup_core.Wire} error envelope *)
 }
 
 type summary = {

@@ -1,0 +1,50 @@
+(** [mlsclassify serve] — an NDJSON request/response loop over sessions.
+
+    One request per line, one {!Minup_core.Wire} response envelope per
+    line, in order.  Requests are JSON objects with an ["op"] field and,
+    for every op but [open] on a fresh name, the ["problem"] field naming
+    the session:
+
+    - [{"op": "open", "problem": p, "lattice": text, "constraints": text}]
+      — create (or replace) session [p] from a lattice file and an
+      optional policy file, both passed inline as text.  Policies with
+      [<=] lines are rejected: upper bounds are per-resolve inputs.
+    - [{"op": "add_constraint", "problem": p, "constraint": line}] — parse
+      one policy line and add it; the response [Ack] carries the fresh
+      constraint id.
+    - [{"op": "remove_constraint", "problem": p, "id": n}]
+    - [{"op": "set_lower_bound", "problem": p, "attr": a, "level": l}] —
+      omit ["level"] (or pass [null]) to clear the bound.
+    - [{"op": "add_attribute", "problem": p, "attr": a}]
+    - [{"op": "resolve", "problem": p, ...}] — re-solve incrementally (see
+      {!Session}).  Optional fields: ["deadline_ms"] and ["max_steps"]
+      build a {!Minup_core.Solver.budget} (falling back to the
+      connection-wide defaults); a cancelled solve answers with a
+      [status: "fault"] envelope carrying the {!Minup_core.Fault.t}.
+      ["bounds"] (object of attr -> level) runs the §6 upper-bounded
+      solve instead, answering [status: "infeasible"] when the bounds
+      conflict.  ["stats": true] includes the operation counters.
+    - [{"op": "close", "problem": p}]
+
+    Anything else — unparseable line, unknown op, unknown session, bad
+    field — answers a [status: "error"] envelope; the loop never dies on
+    a bad request.  Sessions are kept in an LRU list capped at
+    [max_sessions]; opening one beyond the cap silently evicts the least
+    recently used (counted in the [serve/evicted] metric). *)
+
+type conn
+
+val create :
+  ?max_sessions:int -> ?deadline_ms:int -> ?max_steps:int -> unit -> conn
+
+(** Sessions currently held, most recently used first. *)
+val session_names : conn -> string list
+
+(** Handle one request line (without trailing newline).  Total: every
+    exception but [Sys.Break] and [Out_of_memory] becomes an error
+    envelope. *)
+val handle_line : conn -> string -> Minup_core.Wire.t
+
+(** Read lines until EOF, writing one compact-JSON envelope line per
+    request and flushing after each — the loop is usable as a pipe peer. *)
+val run : conn -> in_channel -> out_channel -> unit

@@ -62,8 +62,10 @@ reported; --failures-json emits a machine-readable failure report
   FAILED: step budget exhausted: 2 steps of a 1-step budget
   [
     {
+      "v": 1,
+      "status": "fault",
+      "problem": "employee.cst",
       "task": 0,
-      "policy": "employee.cst",
       "attempts": 3,
       "fault": {
         "kind": "budget",
@@ -86,6 +88,30 @@ order, deterministically) aborts the batch:
   $ mlsclassify batch -l fig1b.lat --max-steps 1 employee.cst employee.cst
   error: batch failed: Solver.Cancelled(step budget 1 exhausted; 1/4 attrs finalized, 2 steps)
   [4]
+
+The serve loop keeps compiled problems in memory and re-solves deltas
+incrementally: one JSON request per stdin line, one versioned envelope
+per stdout line (the answer is bit-identical to a from-scratch solve —
+incrementality is never visible in results).  Budgets answer fault
+envelopes, conflicting bounds infeasible ones, and a bad request an
+error envelope without killing the loop:
+
+  $ printf '%s\n' \
+  >   '{"op":"open","problem":"emp","lattice":"levels Public, Secret\nPublic < Secret\n","constraints":"secret >= Secret\n{name, salary} >= secret\n"}' \
+  >   '{"op":"resolve","problem":"emp"}' \
+  >   '{"op":"set_lower_bound","problem":"emp","attr":"name","level":"Secret"}' \
+  >   '{"op":"resolve","problem":"emp","max_steps":0}' \
+  >   '{"op":"resolve","problem":"emp","bounds":{"secret":"Public"}}' \
+  >   '{"op":"resolve","problem":"emp"}' \
+  >   'bogus' \
+  >   | mlsclassify serve
+  {"v":1,"status":"ok","problem":"emp"}
+  {"v":1,"status":"ok","problem":"emp","solution":{"secret":"Secret","name":"Public","salary":"Secret"}}
+  {"v":1,"status":"ok","problem":"emp"}
+  {"v":1,"status":"fault","problem":"emp","attempts":1,"fault":{"kind":"budget","max_steps":0,"steps":1}}
+  {"v":1,"status":"infeasible","problem":"emp","detail":"constraint λ(secret) ⊒ Secret cannot be satisfied: the left-hand side is capped at Public"}
+  {"v":1,"status":"ok","problem":"emp","solution":{"secret":"Secret","name":"Secret","salary":"Public"}}
+  {"v":1,"status":"error","detail":"request is not JSON: unexpected 'b' at offset 0"}
 
 Observability: --trace writes a Chrome trace-event file, --metrics prints
 a registry snapshot on stderr (counters are deterministic; timing gauges
@@ -239,7 +265,7 @@ function of (seed, cases) — never of the worker count:
     backends: compartment=4 explicit=4 powerset=4
     shapes: acyclic=5 mixed=2 single_scc=5
     bounded: 6
-    checks: compile=12 satisfies=12 minimal=12 oracle=10 backtrack=12 qian=12 batch=12 supervised=12 parse=12 json=12 bounded_ok=4 bounded_infeasible=2
+    checks: compile=12 satisfies=12 minimal=12 oracle=10 backtrack=12 qian=12 batch=12 supervised=12 parse=12 json=12 bounded_ok=4 bounded_infeasible=2 session=12 wire=12
     failures: 0
   OK
 
@@ -251,14 +277,14 @@ failure to a near-empty reproducer written as replayable .lat/.cst files:
     backends: compartment=1 explicit=1 powerset=1
     shapes: acyclic=2 single_scc=1
     bounded: 1
-    checks: compile=3 satisfies=3 minimal=2 oracle=2 backtrack=2 qian=2 batch=3 supervised=3 parse=3 json=3 bounded_ok=1 bounded_infeasible=0
+    checks: compile=3 satisfies=3 minimal=2 oracle=2 backtrack=2 qian=2 batch=3 supervised=3 parse=3 json=3 bounded_ok=1 bounded_infeasible=0 session=3 wire=3
     failures: 2
     FAIL case=1 backend=compartment shape=single_scc property=satisfies: solution violates a constraint (5 attrs, 11 csts)
       repro (shrunk): 2 levels, 1 attrs, 0 constraints, 0 bounds
-      wrote repro/case1.lat repro/case1.cst
+      wrote repro/case1.lat repro/case1.cst repro/case1.json
     FAIL case=2 backend=powerset shape=acyclic property=minimal: Explain.is_locally_minimal rejects the solution
       repro (shrunk): 2 levels, 1 attrs, 0 constraints, 0 bounds
-      wrote repro/case2.lat repro/case2.cst
+      wrote repro/case2.lat repro/case2.cst repro/case2.json
   FAIL
   [1]
 
@@ -272,6 +298,17 @@ mutation, not in the solver):
   verified: pointwise minimal
   A6                       v0
 
+The finding itself is mirrored as a versioned wire envelope next to the
+replay files:
+
+  $ cat repro/case2.json
+  {
+    "v": 1,
+    "status": "error",
+    "problem": "case2",
+    "detail": "property=minimal: Explain.is_locally_minimal rejects the solution"
+  }
+
 Injecting a runtime fault (the supervision analogue of --inject-bug)
 proves the harness isolates and shrinks engine-level misbehavior too:
 an unplanted raise/stall/blowout planted through the fault simulator
@@ -282,7 +319,7 @@ must surface as a supervised-batch failure on every case:
     backends: compartment=1 explicit=1
     shapes: acyclic=1 single_scc=1
     bounded: 1
-    checks: compile=2 satisfies=2 minimal=2 oracle=2 backtrack=2 qian=2 batch=2 supervised=2 parse=2 json=2 bounded_ok=1 bounded_infeasible=0
+    checks: compile=2 satisfies=2 minimal=2 oracle=2 backtrack=2 qian=2 batch=2 supervised=2 parse=2 json=2 bounded_ok=1 bounded_infeasible=0 session=2 wire=2
     failures: 4
     FAIL case=0 backend=explicit shape=acyclic property=supervised: jobs=1: unplanted fault at task 3: injected fault: raise at event 9 of task 3
       repro (shrunk): 1 levels, 1 attrs, 0 constraints, 0 bounds

@@ -88,7 +88,7 @@ let solver_over_wide () =
   in
   let p = SW.compile_exn ~lattice:big csts in
   let plain = SW.solve p in
-  let fast = SW.solve ~residual:Compartment_wide.residual p in
+  let fast = SW.solve ~config:(SW.Config.make ~residual:Compartment_wide.residual ()) p in
   Alcotest.(check bool) "satisfies" true (SW.satisfies p plain.SW.levels);
   Alcotest.(check bool) "fast = plain" true
     (Array.for_all2 (Compartment_wide.equal big) plain.SW.levels fast.SW.levels)

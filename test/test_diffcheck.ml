@@ -78,7 +78,23 @@ let mutation_shrinks name mutation () =
         (List.length r.repro.Instance.names <= 4);
       match r.files with
       | None -> Alcotest.fail "no repro files written"
-      | Some (lat_path, cst_path) -> (
+      | Some (lat_path, cst_path, json_path) -> (
+          (match
+             Minup_obs.Json.parse (read_file json_path)
+             |> Result.map_error (fun e -> `Parse e)
+             |> fun j ->
+             Result.bind j (fun j ->
+                 Minup_core.Wire.of_json j
+                 |> Result.map_error (fun e -> `Wire e))
+           with
+          | Ok env ->
+              Alcotest.(check string)
+                "repro json is an error envelope" "error"
+                (Minup_core.Wire.status env)
+          | Error (`Parse e) ->
+              Alcotest.failf "repro json does not parse: %s" e
+          | Error (`Wire e) ->
+              Alcotest.failf "repro json is not a wire envelope: %s" e);
           let lat = read_file lat_path and cst = read_file cst_path in
           match Selfcheck.replay ~mutation ~lat ~cst () with
           | Error e -> Alcotest.failf "repro does not parse back: %s" e
@@ -89,7 +105,7 @@ let mutation_shrinks name mutation () =
   (* The same files replay clean without the injected bug: the failure is
      the mutation's, not the harness's. *)
   (match s.Selfcheck.failures with
-  | { files = Some (lat_path, cst_path); _ } :: _ -> (
+  | { files = Some (lat_path, cst_path, _); _ } :: _ -> (
       match
         Selfcheck.replay ~lat:(read_file lat_path) ~cst:(read_file cst_path) ()
       with

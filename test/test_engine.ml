@@ -378,7 +378,10 @@ let jobs_invariant_faults () =
 let solver_budget_cancels () =
   let rng = Minup_workload.Prng.create 5 in
   let p = random_problem rng 1 in
-  (match S.solve ~budget:(Minup_core.Solver.budget ~max_steps:3 ()) p with
+  (match S.solve
+     ~config:
+       (S.Config.make ~budget:(Minup_core.Solver.budget ~max_steps:3 ()) ())
+     p with
   | _ -> Alcotest.fail "expected a step-budget cancellation"
   | exception S.Cancelled { reason = S.Steps { max_steps }; progress } ->
       Alcotest.(check int) "max_steps payload" 3 max_steps;
@@ -393,7 +396,12 @@ let solver_budget_cancels () =
     t := Int64.add !t 10_000_000L;
     !t
   in
-  match S.solve ~budget:(Minup_core.Solver.budget ~deadline_ms:5 ~now ()) p with
+  match S.solve
+    ~config:
+      (S.Config.make
+         ~budget:(Minup_core.Solver.budget ~deadline_ms:5 ~now ())
+         ())
+    p with
   | _ -> Alcotest.fail "expected a deadline cancellation"
   | exception S.Cancelled { reason = S.Deadline { deadline_ms; elapsed_ms }; _ }
     ->
@@ -411,9 +419,12 @@ let budget_transparent () =
       let plain = S.solve p in
       let budgeted =
         S.solve
-          ~budget:
-            (Minup_core.Solver.budget ~deadline_ms:3_600_000
-               ~max_steps:max_int ())
+          ~config:
+            (S.Config.make
+               ~budget:
+                 (Minup_core.Solver.budget ~deadline_ms:3_600_000
+                    ~max_steps:max_int ())
+               ())
           p
       in
       Alcotest.(check (array int))
@@ -456,7 +467,10 @@ let options_forwarded =
       in
       let pref name = -String.length name in
       let seq =
-        Array.map (fun p -> S.solve ~upgrade_preference:pref p) problems
+        Array.map
+          (fun p ->
+            S.solve ~config:(S.Config.make ~upgrade_preference:pref ()) p)
+          problems
       in
       let report =
         Engine.solve_batch ~upgrade_preference:pref ~jobs:4 problems

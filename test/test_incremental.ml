@@ -58,7 +58,7 @@ let aggregate_matches_refold =
     ~name:"incremental lhs-lub aggregate = reference refold" Helpers.seed_arb
     (fun seed ->
       let p = random_problem seed in
-      let checked = S.solve ~check_aggregate:true p in
+      let checked = S.solve ~config:(S.Config.make ~check_aggregate:true ()) p in
       let plain = S.solve p in
       checked.S.levels = plain.S.levels
       && fields checked.S.stats = fields plain.S.stats
@@ -73,7 +73,7 @@ let aggregate_matches_refold_bounds =
     Helpers.seed_arb
     (fun seed ->
       let p = random_problem seed in
-      match S.solve_with_bounds ~check_aggregate:true p [] with
+      match S.solve_with_bounds ~config:(S.Config.make ~check_aggregate:true ()) p [] with
       | Ok sol -> S.satisfies p sol.S.levels
       | Error _ -> false)
 
@@ -84,7 +84,7 @@ let paper_example_checked () =
     S.compile_exn ~lattice ~attrs:Minup_core.Paper.fig2_attrs
       Minup_core.Paper.fig2_constraints
   in
-  let checked = S.solve ~check_aggregate:true p in
+  let checked = S.solve ~config:(S.Config.make ~check_aggregate:true ()) p in
   let plain = S.solve p in
   Alcotest.(check (array int)) "same levels" plain.S.levels checked.S.levels;
   Alcotest.(check (list int)) "same counters" (fields plain.S.stats)

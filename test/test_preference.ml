@@ -10,7 +10,7 @@ let both_sec31_solutions_reachable () =
   let p = S.compile_exn ~lattice:fig1b Minup_core.Paper.sec31_constraints in
   let solve_pref preferred =
     let sol =
-      S.solve ~upgrade_preference:(fun a -> if a = preferred then 1 else 0) p
+      S.solve ~config:(S.Config.make ~upgrade_preference:(fun a -> if a = preferred then 1 else 0) ()) p
     in
     List.map
       (fun (a, l) -> (a, Minup_lattice.Explicit.level_to_string fig1b l))
@@ -51,7 +51,7 @@ let preference_preserves_minimality =
       in
       let p = S.compile_exn ~lattice:lat ~attrs csts in
       let pref a = Hashtbl.hash (pref_seed, a) mod 7 in
-      let sol = S.solve ~upgrade_preference:pref p in
+      let sol = S.solve ~config:(S.Config.make ~upgrade_preference:pref ()) p in
       S.satisfies p sol.S.levels
       &&
       match V.is_minimal_solution ~cap:250_000 p sol.S.levels with
@@ -65,7 +65,7 @@ let fig2_stable_under_default () =
       Minup_core.Paper.fig2_constraints
   in
   let plain = S.solve p in
-  let pref = S.solve ~upgrade_preference:(fun _ -> 0) p in
+  let pref = S.solve ~config:(S.Config.make ~upgrade_preference:(fun _ -> 0) ()) p in
   Alcotest.(check bool) "identical" true
     (Array.for_all2 (Minup_lattice.Explicit.equal fig1b) plain.S.levels pref.S.levels)
 

@@ -27,7 +27,7 @@ let compartment_same () =
   in
   let p = SC.compile_exn ~lattice:lat csts in
   let plain = SC.solve p in
-  let fast = SC.solve ~residual:Compartment.residual p in
+  let fast = SC.solve ~config:(SC.Config.make ~residual:Compartment.residual ()) p in
   Alcotest.(check bool) "identical assignments" true
     (Array.for_all2 (Compartment.equal lat) plain.SC.levels fast.SC.levels);
   Alcotest.(check bool) "fast path satisfies" true (SC.satisfies p fast.SC.levels)
@@ -56,7 +56,7 @@ let total_same_prop =
       in
       let p = ST.compile_exn ~lattice:lat ~attrs csts in
       let plain = ST.solve p in
-      let fast = ST.solve ~residual:Total.residual p in
+      let fast = ST.solve ~config:(ST.Config.make ~residual:Total.residual ()) p in
       plain.ST.levels = fast.ST.levels)
 
 let fewer_ops () =
@@ -73,7 +73,7 @@ let fewer_ops () =
   in
   let p = SC.compile_exn ~lattice:lat csts in
   let plain = SC.solve p in
-  let fast = SC.solve ~residual:Compartment.residual p in
+  let fast = SC.solve ~config:(SC.Config.make ~residual:Compartment.residual ()) p in
   Alcotest.(check bool) "same answer" true
     (Array.for_all2 (Compartment.equal lat) plain.SC.levels fast.SC.levels);
   Alcotest.(check bool) "fewer lattice ops" true

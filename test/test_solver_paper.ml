@@ -31,7 +31,7 @@ let fig2_satisfies_and_minimal () =
 let fig2_trace () =
   let p = compile_fig2 () in
   let events = ref [] in
-  let _ = S.solve ~on_event:(fun e -> events := e :: !events) p in
+  let _ = S.solve ~config:(S.Config.make ~on_event:(fun e -> events := e :: !events) ()) p in
   let events = List.rev !events in
   (* Consideration order follows decreasing priority, ascending id within
      a set: P first, then B..M, then I,O,N, then D last. *)
@@ -69,9 +69,13 @@ let fig2_try_b_sweeps_cycle () =
   let b_lowering = ref [] in
   let _ =
     S.solve
-      ~on_event:(function
-        | S.Try_lower { attr = "B"; lowered = Some l; _ } -> b_lowering := l
-        | _ -> ())
+      ~config:
+        (S.Config.make
+           ~on_event:(function
+             | S.Try_lower { attr = "B"; lowered = Some l; _ } ->
+                 b_lowering := l
+             | _ -> ())
+           ())
       p
   in
   let names = List.sort compare (List.map fst !b_lowering) in

@@ -61,7 +61,7 @@ let wide_branching () =
   in
   let p = SP.compile_exn ~lattice:lat csts in
   let plain = SP.solve p in
-  let fast = SP.solve ~residual:Powerset.residual p in
+  let fast = SP.solve ~config:(SP.Config.make ~residual:Powerset.residual ()) p in
   Alcotest.(check bool) "satisfies" true (SP.satisfies p plain.SP.levels);
   Alcotest.(check bool) "fast path agrees" true (plain.SP.levels = fast.SP.levels);
   let module ExP = Minup_core.Explain.Make (Powerset) in
